@@ -1,0 +1,153 @@
+//! The attack library: adversarial behaviours the evaluation throws at
+//! each spam-protection scheme.
+
+use waku_rln_relay::{PublishError, Testbed};
+use wakurln_ethsim::types::Wei;
+
+/// Outcome of one spam burst against the RLN testbed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpamReport {
+    /// Messages the attacker handed to the network.
+    pub attempted: u64,
+    /// Attempts the attacker's own node could not even send
+    /// (e.g. membership already slashed).
+    pub send_failures: u64,
+    /// Distinct spam payloads that reached at least half the honest peers.
+    pub delivered_majority: u64,
+    /// Double-signal detections across all validators after the burst.
+    pub detections: u64,
+    /// Whether the attacker lost their membership (slashed on chain).
+    pub slashed: bool,
+}
+
+/// The double-signaling flood: publish `k` distinct messages inside one
+/// epoch, bypassing the attacker's local rate limiter. This is the attack
+/// the RLN construction is designed to make self-defeating (§II/§III).
+pub fn double_signal_burst(testbed: &mut Testbed, attacker: usize, k: usize) -> SpamReport {
+    let mut report = SpamReport::default();
+    let payloads: Vec<Vec<u8>> = (0..k)
+        .map(|i| format!("spam-burst-{i}").into_bytes())
+        .collect();
+    for payload in &payloads {
+        report.attempted += 1;
+        if let Err(e) = testbed.publish_spam(attacker, payload) {
+            match e {
+                PublishError::MembershipLost => report.send_failures += 1,
+                other => panic!("unexpected publish failure: {other}"),
+            }
+        }
+    }
+    // let gossip, detection, slashing and sync play out
+    testbed.run(40_000, 1_000);
+    let half = testbed.config().n_peers / 2;
+    for payload in &payloads {
+        if testbed.delivery_count(payload, attacker) >= half {
+            report.delivered_majority += 1;
+        }
+    }
+    report.detections = testbed.total_spam_detections();
+    report.slashed = !testbed.is_member(attacker);
+    report
+}
+
+/// The epoch-replay attack (§III): a peer signs messages for epochs far in
+/// the past (or future). Returns how many of `offsets` got majority
+/// delivery — with a correct `Thr` window this is the count of offsets
+/// inside the window.
+pub fn epoch_replay_attack(
+    testbed: &mut Testbed,
+    attacker: usize,
+    offsets: &[i64],
+) -> Vec<(i64, bool)> {
+    let mut results = Vec::with_capacity(offsets.len());
+    for &offset in offsets {
+        let payload = format!("replay-{offset}").into_bytes();
+        testbed
+            .publish_with_epoch_offset(attacker, &payload, offset)
+            .expect("attacker can always send");
+        testbed.run(15_000, 1_000);
+        let half = testbed.config().n_peers / 2;
+        results.push((offset, testbed.delivery_count(&payload, attacker) >= half));
+    }
+    results
+}
+
+/// Economic comparison of Sybil attacks (§I/§IV: "Sybil attack is also
+/// mitigated by making registration expensive").
+///
+/// Returns the attacker's cost in wei to field `bot_count` identities
+/// under each scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SybilCost {
+    /// Number of identities.
+    pub bot_count: u64,
+    /// RLN: stake per registration, all of it slashable on first
+    /// double-signal.
+    pub rln_wei: Wei,
+    /// Peer scoring: identities are free (fresh `NodeId`s reset scores).
+    pub peer_scoring_wei: Wei,
+    /// PoW: identities are free; the cost is per *message*, not per
+    /// identity.
+    pub pow_wei: Wei,
+}
+
+/// Computes the identity-acquisition cost table.
+pub fn sybil_cost(bot_count: u64, stake: Wei) -> SybilCost {
+    SybilCost {
+        bot_count,
+        rln_wei: stake * bot_count as Wei,
+        peer_scoring_wei: 0,
+        pow_wei: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waku_rln_relay::TestbedConfig;
+
+    fn testbed() -> Testbed {
+        let mut tb = Testbed::build(TestbedConfig {
+            n_peers: 8,
+            tree_depth: 10,
+            degree: 4,
+            seed: 5,
+            ..Default::default()
+        });
+        tb.run(8_000, 1_000); // mesh formation
+        tb
+    }
+
+    #[test]
+    fn double_signal_burst_gets_attacker_slashed() {
+        let mut tb = testbed();
+        let report = double_signal_burst(&mut tb, 0, 4);
+        assert_eq!(report.attempted, 4);
+        assert!(report.detections >= 1, "no detection: {report:?}");
+        assert!(report.slashed, "attacker kept membership: {report:?}");
+        // the flood did not achieve majority delivery for most messages
+        assert!(
+            report.delivered_majority <= 1,
+            "spam flooded through: {report:?}"
+        );
+    }
+
+    #[test]
+    fn replay_outside_window_blocked_inside_allowed() {
+        let mut tb = testbed();
+        // Thr = 2 with default scheme (T = 10 s, D = 20 s)
+        let results = epoch_replay_attack(&mut tb, 1, &[-10, -1, 0]);
+        let map: std::collections::HashMap<i64, bool> = results.into_iter().collect();
+        assert!(!map[&-10], "deep replay delivered");
+        assert!(map[&0], "current epoch blocked");
+        assert!(map[&-1], "within-window epoch blocked");
+    }
+
+    #[test]
+    fn sybil_cost_table() {
+        let c = sybil_cost(1_000_000, wakurln_ethsim::types::ETHER);
+        assert_eq!(c.peer_scoring_wei, 0);
+        assert_eq!(c.pow_wei, 0);
+        assert_eq!(c.rln_wei, 1_000_000 * wakurln_ethsim::types::ETHER);
+    }
+}

@@ -1,0 +1,104 @@
+//! E0 — Supporting microbenchmarks of the cryptographic substrate.
+//!
+//! Not a paper table by itself, but the per-primitive costs that explain
+//! E1/E2/E3: field multiplication, Poseidon permutations, Merkle
+//! operations, Shamir reconstruction, and SHA-256 throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use wakurln_crypto::field::Fr;
+use wakurln_crypto::merkle::{FullMerkleTree, IncrementalMerkleTree};
+use wakurln_crypto::poseidon;
+use wakurln_crypto::sha256::Sha256;
+use wakurln_crypto::shamir;
+
+fn bench_field(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e0_field");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fr::random(&mut rng);
+    let b = Fr::random(&mut rng);
+    group.bench_function("mul", |bench| bench.iter(|| a * b));
+    group.bench_function("add", |bench| bench.iter(|| a + b));
+    group.bench_function("square", |bench| bench.iter(|| a.square()));
+    group.bench_function("inverse", |bench| bench.iter(|| a.inverse()));
+    group.finish();
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e0_hashes");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    let a = Fr::from_u64(1);
+    let b = Fr::from_u64(2);
+    group.bench_function("poseidon_hash1", |bench| bench.iter(|| poseidon::hash1(a)));
+    group.bench_function("poseidon_hash2", |bench| {
+        bench.iter(|| poseidon::hash2(a, b))
+    });
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &size, |bench, _| {
+            bench.iter(|| Sha256::digest(&data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e0_merkle");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for depth in [10usize, 16, 20] {
+        group.bench_with_input(BenchmarkId::new("full_set", depth), &depth, |bench, &d| {
+            let mut tree = FullMerkleTree::new(d).expect("depth ok");
+            let mut i = 0u64;
+            bench.iter(|| {
+                i = (i + 1) % tree.capacity();
+                tree.set(i, Fr::from_u64(i)).expect("in range")
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental_append", depth),
+            &depth,
+            |bench, &d| {
+                let mut tree = IncrementalMerkleTree::new(d).expect("depth ok");
+                let mut i = 0u64;
+                bench.iter(|| {
+                    if tree.len() == tree.capacity() {
+                        tree = IncrementalMerkleTree::new(d).expect("depth ok");
+                    }
+                    i += 1;
+                    tree.append(Fr::from_u64(i)).expect("capacity")
+                });
+            },
+        );
+    }
+    group.bench_function("proof_verify_depth20", |bench| {
+        let mut tree = FullMerkleTree::new(20).expect("depth ok");
+        tree.append(Fr::from_u64(5)).expect("capacity");
+        let proof = tree.proof(0).expect("in range");
+        let root = tree.root();
+        bench.iter(|| proof.verify(root, Fr::from_u64(5)));
+    });
+    group.finish();
+}
+
+fn bench_shamir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e0_shamir");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    let sk = Fr::from_u64(123);
+    let a1 = Fr::from_u64(456);
+    let s1 = shamir::share_on_line(sk, a1, Fr::from_u64(1));
+    let s2 = shamir::share_on_line(sk, a1, Fr::from_u64(2));
+    group.bench_function("share_on_line", |bench| {
+        bench.iter(|| shamir::share_on_line(sk, a1, Fr::from_u64(3)))
+    });
+    group.bench_function("recover_secret", |bench| {
+        bench.iter(|| shamir::recover_line_secret(&s1, &s2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_field, bench_hashes, bench_merkle, bench_shamir);
+criterion_main!(benches);

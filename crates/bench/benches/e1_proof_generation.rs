@@ -1,0 +1,52 @@
+//! E1 — Proof generation time vs. membership-tree depth.
+//!
+//! Paper §IV: "Generating membership proof to a group size of 2³² takes
+//! ≈ 0.5 s on an iPhone 8."
+//!
+//! We sweep the tree depth (group capacity 2^depth) and measure full
+//! honest proving: witness synthesis over the real RLN R1CS circuit,
+//! constraint checking, and proof assembly. The expected *shape* is
+//! linear growth with depth (the Merkle gadget dominates); absolute times
+//! differ from the authors' BN254/Groth16-on-iPhone figures (see
+//! EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wakurln_bench::{banner, row, ProveFixture};
+use wakurln_zksnark::RlnCircuit;
+
+fn bench_proof_generation(c: &mut Criterion) {
+    banner(
+        "E1: proof generation vs group size",
+        "≈0.5 s at 2^32 members (iPhone 8); linear in tree depth",
+    );
+    row(&[
+        "depth".into(),
+        "group capacity".into(),
+        "constraints".into(),
+    ]);
+    for depth in [10usize, 16, 20, 24, 32] {
+        row(&[
+            format!("{depth}"),
+            format!("2^{depth}"),
+            format!("{}", RlnCircuit::new(depth).constraint_count()),
+        ]);
+    }
+
+    let mut group = c.benchmark_group("e1_proof_generation");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for depth in [10usize, 16, 20, 24, 32] {
+        let mut fixture = ProveFixture::new(depth, 7, 42);
+        let mut epoch = 0u64;
+        group.bench_with_input(BenchmarkId::new("prove", depth), &depth, |b, _| {
+            b.iter(|| {
+                epoch += 1;
+                fixture.signal(epoch, b"benchmark message")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proof_generation);
+criterion_main!(benches);

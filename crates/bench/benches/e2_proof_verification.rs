@@ -1,0 +1,37 @@
+//! E2 — Proof verification time vs. group size.
+//!
+//! Paper §IV: "Proof verification run time is constant and takes ≈ 30 ms"
+//! (iPhone 8), independent of the group size.
+//!
+//! We verify honest signals across tree depths and expect a *flat* series
+//! — constant-size proofs verified by a constant number of operations —
+//! in contrast to E1's linear growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wakurln_bench::{banner, ProveFixture};
+use wakurln_rln::{verify_signal, SignalValidity};
+
+fn bench_proof_verification(c: &mut Criterion) {
+    banner(
+        "E2: proof verification vs group size",
+        "constant ≈30 ms regardless of group size (flat series)",
+    );
+
+    let mut group = c.benchmark_group("e2_proof_verification");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    for depth in [10usize, 16, 20, 24, 32] {
+        let mut fixture = ProveFixture::new(depth, 7, 42);
+        let signal = fixture.signal(1, b"benchmark message");
+        let root = fixture.tree.root();
+        let vk = fixture.verifying_key.clone();
+        assert_eq!(verify_signal(&vk, root, &signal), SignalValidity::Valid);
+        group.bench_with_input(BenchmarkId::new("verify", depth), &depth, |b, _| {
+            b.iter(|| verify_signal(&vk, root, &signal));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proof_verification);
+criterion_main!(benches);

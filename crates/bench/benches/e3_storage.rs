@@ -1,0 +1,117 @@
+//! E3 — Per-peer storage costs.
+//!
+//! Paper §IV: "Each peer persists a 32B public and secret keys and a
+//! ≈ 3.89 MB prover key. A membership tree with depth 20 requires 67 MB
+//! storage which can be optimized to 0.128 KB using [9]."
+//!
+//! The table below reports measured sizes for: identity keys, the modeled
+//! prover/verifier keys, the constant proof, and the three tree
+//! representations (full, append-only frontier, reference-[9] own-path).
+//! The criterion section times the light tree's per-event maintenance
+//! work, showing the optimization costs O(depth) time per membership
+//! event.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use wakurln_bench::{banner, row, ProveFixture};
+use wakurln_crypto::field::Fr;
+use wakurln_crypto::merkle::{FullMerkleTree, IncrementalMerkleTree, SyncedPathTree};
+use wakurln_rln::Identity;
+
+fn human(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.2} MB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.2} KB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+fn storage_table() {
+    banner(
+        "E3: per-peer storage",
+        "32B keys; ~3.89MB prover key; depth-20 tree: 67MB full vs 0.128KB optimized",
+    );
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let id = Identity::random(&mut rng);
+    row(&["artifact".into(), "measured".into(), "paper".into()]);
+    row(&[
+        "secret key".into(),
+        human(id.secret().to_bytes_le().len()),
+        "32 B".into(),
+    ]);
+    row(&[
+        "public key".into(),
+        human(id.commitment().to_bytes_le().len()),
+        "32 B".into(),
+    ]);
+
+    let fixture = ProveFixture::new(20, 0, 1);
+    row(&[
+        "prover key (d=20)".into(),
+        human(fixture.proving_key.size_bytes()),
+        "3.89 MB".into(),
+    ]);
+    row(&[
+        "verifier key".into(),
+        human(fixture.verifying_key.size_bytes()),
+        "(small const)".into(),
+    ]);
+    let mut f = ProveFixture::new(20, 0, 2);
+    let sig = f.signal(1, b"m");
+    row(&[
+        "proof".into(),
+        human(sig.proof.size_bytes()),
+        "(const, ~128-192B)".into(),
+    ]);
+
+    println!();
+    row(&["tree (depth 20)".into(), "measured".into(), "paper".into()]);
+    let full = FullMerkleTree::new(20).expect("depth ok");
+    row(&[
+        "full tree".into(),
+        human(full.storage_bytes()),
+        "67 MB".into(),
+    ]);
+    let frontier = IncrementalMerkleTree::new(20).expect("depth ok");
+    row(&[
+        "frontier only".into(),
+        human(frontier.storage_bytes()),
+        "-".into(),
+    ]);
+    let mut light = SyncedPathTree::new(20).expect("depth ok");
+    light.register_own(Fr::from_u64(1)).expect("capacity");
+    row(&[
+        "own-path (ref [9])".into(),
+        human(light.storage_bytes()),
+        "0.128 KB".into(),
+    ]);
+    let reduction = full.storage_bytes() as f64 / light.storage_bytes() as f64;
+    println!("reduction factor: {reduction:.0}x (paper: ~520,000x vs 67MB)");
+}
+
+fn bench_light_tree_maintenance(c: &mut Criterion) {
+    storage_table();
+
+    let mut group = c.benchmark_group("e3_light_tree_event_cost");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for depth in [16usize, 20, 32] {
+        group.bench_with_input(BenchmarkId::new("apply_append", depth), &depth, |b, &d| {
+            let mut tree = SyncedPathTree::new(d).expect("depth ok");
+            tree.register_own(Fr::from_u64(1)).expect("capacity");
+            let mut i = 2u64;
+            b.iter(|| {
+                i += 1;
+                tree.apply_append(Fr::from_u64(i)).expect("capacity")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_light_tree_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! E4 — Gas: off-chain tree (registry contract) vs on-chain tree.
+//!
+//! Paper §III: "This design choice enables constant complexity
+//! registration and deletion operations (as opposed to logarithmic
+//! complexity in on-chain tree storage) hence optimizing gas consumption
+//! by an order of magnitude."
+//!
+//! The table sweeps tree depth (group capacity) and reports the gas of
+//! `register` and `slash`/`remove` under both contract designs, plus the
+//! ratio. Registry gas must be flat; tree gas must grow linearly with
+//! depth; the ratio at practical depths must exceed 10×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wakurln_bench::{banner, row};
+use wakurln_crypto::field::Fr;
+use wakurln_crypto::poseidon;
+use wakurln_ethsim::gas::{GasMeter, TX_BASE};
+use wakurln_ethsim::types::{Address, ETHER};
+use wakurln_ethsim::{MembershipContract, OnChainTreeContract};
+
+fn registry_register_gas(member_index: u64) -> u64 {
+    let mut contract = MembershipContract::new(ETHER, 50);
+    let mut events = Vec::new();
+    // pre-populate to the requested size
+    for i in 0..member_index {
+        let mut m = GasMeter::new();
+        contract
+            .register(Address::BURN, ETHER, Fr::from_u64(1_000_000 + i), &mut m, &mut events)
+            .expect("unique");
+    }
+    let mut meter = GasMeter::new();
+    meter.charge(TX_BASE);
+    contract
+        .register(Address::BURN, ETHER, Fr::from_u64(7), &mut meter, &mut events)
+        .expect("unique");
+    meter.used()
+}
+
+fn registry_slash_gas(prefill: u64) -> u64 {
+    let mut contract = MembershipContract::new(ETHER, 50);
+    let mut events = Vec::new();
+    for i in 0..prefill {
+        let mut m = GasMeter::new();
+        contract
+            .register(Address::BURN, ETHER, Fr::from_u64(1_000_000 + i), &mut m, &mut events)
+            .expect("unique");
+    }
+    let sk = Fr::from_u64(7);
+    let mut m = GasMeter::new();
+    contract
+        .register(Address::BURN, ETHER, poseidon::hash1(sk), &mut m, &mut events)
+        .expect("unique");
+    struct NoopEnv;
+    impl wakurln_ethsim::contracts::BalanceEnv for NoopEnv {
+        fn credit(&mut self, _: Address, _: u128) {}
+    }
+    let mut meter = GasMeter::new();
+    meter.charge(TX_BASE);
+    contract
+        .slash(Address::BURN, sk, &mut meter, &mut events, &mut NoopEnv)
+        .expect("registered");
+    meter.used()
+}
+
+fn tree_gas(depth: usize) -> (u64, u64) {
+    let mut contract = OnChainTreeContract::new(ETHER, depth).expect("depth ok");
+    let mut events = Vec::new();
+    let sk = Fr::from_u64(7);
+    let mut reg = GasMeter::new();
+    reg.charge(TX_BASE);
+    contract
+        .register(Address::BURN, ETHER, poseidon::hash1(sk), &mut reg, &mut events)
+        .expect("capacity");
+    let mut rem = GasMeter::new();
+    rem.charge(TX_BASE);
+    contract
+        .remove(Address::BURN, 0, sk, &mut rem, &mut events)
+        .expect("registered");
+    (reg.used(), rem.used())
+}
+
+fn gas_table() {
+    banner(
+        "E4: gas — registry (paper design) vs on-chain tree (original RLN)",
+        "O(1) vs O(log n); 'optimizing gas consumption by an order of magnitude'",
+    );
+    row(&[
+        "depth".into(),
+        "registry reg".into(),
+        "tree reg".into(),
+        "ratio".into(),
+        "registry slash".into(),
+        "tree remove".into(),
+        "ratio".into(),
+    ]);
+    let reg_registry = registry_register_gas(0);
+    let slash_registry = registry_slash_gas(0);
+    for depth in [10usize, 16, 20, 24, 32] {
+        let (reg_tree, rem_tree) = tree_gas(depth);
+        row(&[
+            format!("{depth}"),
+            format!("{reg_registry}"),
+            format!("{reg_tree}"),
+            format!("{:.1}x", reg_tree as f64 / reg_registry as f64),
+            format!("{slash_registry}"),
+            format!("{rem_tree}"),
+            format!("{:.1}x", rem_tree as f64 / slash_registry as f64),
+        ]);
+    }
+    // constancy check across group sizes
+    println!();
+    row(&[
+        "group size".into(),
+        "registry reg gas".into(),
+    ]);
+    for size in [0u64, 16, 256, 1024] {
+        row(&[format!("{size}"), format!("{}", registry_register_gas(size))]);
+    }
+}
+
+fn bench_contract_execution(c: &mut Criterion) {
+    gas_table();
+
+    let mut group = c.benchmark_group("e4_contract_execution");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function("registry_register", |b| {
+        let mut contract = MembershipContract::new(ETHER, 50);
+        let mut events = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut m = GasMeter::new();
+            contract
+                .register(Address::BURN, ETHER, Fr::from_u64(i), &mut m, &mut events)
+                .expect("unique")
+        });
+    });
+    group.bench_function("tree_register_depth20", |b| {
+        let mut contract = OnChainTreeContract::new(ETHER, 20).expect("depth ok");
+        let mut events = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut m = GasMeter::new();
+            contract
+                .register(Address::BURN, ETHER, Fr::from_u64(i), &mut m, &mut events)
+                .expect("capacity")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_contract_execution);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! E5 — Message propagation: p2p gossip vs on-chain messaging.
+//!
+//! Paper §III: "we achieve higher message propagation speed as opposed to
+//! the on-chain case where messages should be mined before being visible
+//! to the network. Moreover, we save our users the gas price that they
+//! have to otherwise pay to insert their messages to the contract."
+//!
+//! The table publishes 20 messages under each design on a 100-peer
+//! network and reports visibility-latency percentiles (gossip: time until
+//! 95% of peers hold the message; on-chain: time until the message is in
+//! a mined block every peer can read) plus the per-message gas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wakurln_bench::{banner, row};
+use wakurln_ethsim::types::{Address, CallData, ETHER};
+use wakurln_ethsim::{Chain, ChainConfig};
+use wakurln_gossipsub::AcceptAll;
+use wakurln_netsim::{topology, Network, NodeId, UniformLatency};
+use wakurln_relay::{WakuMessage, WakuRelayNode};
+
+const N_PEERS: usize = 100;
+const N_MESSAGES: usize = 20;
+
+/// Gossip: per-message time until 95% coverage.
+fn gossip_latencies(seed: u64) -> Vec<u64> {
+    let adjacency = topology::random_regular(N_PEERS, 6, seed);
+    let mut net: Network<WakuRelayNode<AcceptAll>> =
+        Network::new(UniformLatency { min_ms: 20, max_ms: 120 }, seed);
+    for peers in adjacency {
+        net.add_node(WakuRelayNode::with_defaults(peers, AcceptAll));
+    }
+    net.run_until(10_000); // mesh formation
+
+    let mut latencies = Vec::new();
+    for m in 0..N_MESSAGES {
+        let publisher = m % N_PEERS;
+        let payload = format!("e5-message-{m}").into_bytes();
+        let publish_time = net.now();
+        let msg = WakuMessage::new("/e5", payload.clone());
+        net.invoke(NodeId(publisher), |node, ctx| node.publish(ctx, &msg));
+        net.run_until(net.now() + 20_000);
+        // coverage timestamp: the 95th-percentile arrival time
+        let mut arrivals: Vec<u64> = (0..N_PEERS)
+            .filter(|i| *i != publisher)
+            .filter_map(|i| {
+                net.node(NodeId(i))
+                    .waku_deliveries()
+                    .iter()
+                    .find(|(w, _)| w.payload == payload)
+                    .map(|(_, at)| *at - publish_time)
+            })
+            .collect();
+        arrivals.sort_unstable();
+        if arrivals.len() >= (N_PEERS - 1) * 95 / 100 {
+            let p95 = arrivals[(arrivals.len() - 1) * 95 / 100];
+            latencies.push(p95);
+        }
+    }
+    latencies
+}
+
+/// On-chain: per-message time from submission to inclusion in a block.
+fn onchain_latencies(seed: u64) -> (Vec<u64>, u64) {
+    let mut chain = Chain::new(ChainConfig::default());
+    let sender = Address::from_label("poster");
+    chain.fund(sender, 100 * ETHER);
+    let mut latencies = Vec::new();
+    let mut gas_per_message = 0;
+    let mut t = 1_000u64; // ms
+    for m in 0..N_MESSAGES {
+        // stagger submissions pseudo-randomly within block intervals
+        t += 1_700 + (seed + m as u64) * 977 % 9_000;
+        chain.advance_to(t / 1000);
+        let submit_ms = t;
+        chain
+            .submit(sender, 0, CallData::Post {
+                payload: format!("e5-onchain-{m}").into_bytes(),
+            })
+            .expect("funded");
+        // visible at the next mined block
+        let mined_at_ms = chain.next_block_time() * 1000;
+        let receipts = chain.advance_to(chain.next_block_time());
+        gas_per_message = receipts.last().expect("mined").gas_used;
+        latencies.push(mined_at_ms - submit_ms);
+        t = mined_at_ms;
+    }
+    (latencies, gas_per_message)
+}
+
+fn stats(lat: &[f64]) -> (f64, f64, f64) {
+    let mut s = lat.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let p50 = s[(s.len() - 1) / 2];
+    let p95 = s[(s.len() - 1) * 95 / 100];
+    (mean, p50, p95)
+}
+
+fn propagation_table() {
+    banner(
+        "E5: propagation latency — gossip vs on-chain (100 peers, 20 msgs)",
+        "off-chain p2p beats mined messages; senders pay no gas",
+    );
+    let gossip = gossip_latencies(11);
+    let (onchain, gas) = onchain_latencies(11);
+    let g: Vec<f64> = gossip.iter().map(|v| *v as f64).collect();
+    let o: Vec<f64> = onchain.iter().map(|v| *v as f64).collect();
+    let (gm, g50, g95) = stats(&g);
+    let (om, o50, o95) = stats(&o);
+    row(&[
+        "design".into(),
+        "mean ms".into(),
+        "p50 ms".into(),
+        "p95 ms".into(),
+        "gas/msg".into(),
+    ]);
+    row(&[
+        "gossip (95% cover)".into(),
+        format!("{gm:.0}"),
+        format!("{g50:.0}"),
+        format!("{g95:.0}"),
+        "0".into(),
+    ]);
+    row(&[
+        "on-chain (mined)".into(),
+        format!("{om:.0}"),
+        format!("{o50:.0}"),
+        format!("{o95:.0}"),
+        format!("{gas}"),
+    ]);
+    println!("speedup (mean): {:.1}x", om / gm);
+    assert!(om > gm, "gossip must beat mining latency");
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    propagation_table();
+
+    // supporting microbench: simulator throughput for one full publish
+    let mut group = c.benchmark_group("e5_simulation_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("small_net_publish_round", |b| {
+        b.iter(|| {
+            let adjacency = topology::random_regular(20, 4, 3);
+            let mut net: Network<WakuRelayNode<AcceptAll>> =
+                Network::new(UniformLatency { min_ms: 10, max_ms: 50 }, 3);
+            for peers in adjacency {
+                net.add_node(WakuRelayNode::with_defaults(peers, AcceptAll));
+            }
+            net.run_until(5_000);
+            let msg = WakuMessage::new("/bench", b"x".to_vec());
+            net.invoke(NodeId(0), |node, ctx| node.publish(ctx, &msg));
+            net.run_until(15_000);
+            net.metrics().counter("delivered_app")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

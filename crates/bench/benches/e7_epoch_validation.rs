@@ -1,0 +1,81 @@
+//! E7 — Epoch validation: the `Thr = D/T` window.
+//!
+//! Paper §III: "The routing peer also validates the epoch of the incoming
+//! message against its local epoch to see if their difference exceeds a
+//! threshold Thr in which case the message is considered invalid and gets
+//! dropped […]. Epoch validation prevents a newly registered peer from
+//! spamming the system by messaging for all the past epochs."
+//!
+//! The table sweeps the forged-epoch offset and reports whether the
+//! message achieved majority delivery — the acceptance curve must be a
+//! sharp window of width `2·Thr + 1` centred on the current epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use waku_rln_relay::{EpochScheme, Testbed, TestbedConfig};
+use wakurln_baselines::epoch_replay_attack;
+use wakurln_bench::{banner, row};
+
+fn acceptance_curve() {
+    banner(
+        "E7: epoch-window acceptance curve (T = 10 s, D = 20 s, Thr = 2)",
+        "past/future epochs beyond Thr are dropped network-wide",
+    );
+    let mut tb = Testbed::build(TestbedConfig {
+        n_peers: 10,
+        tree_depth: 10,
+        degree: 4,
+        seed: 21,
+        epoch: EpochScheme::new(10, 20_000),
+        ..Default::default()
+    });
+    tb.run(8_000, 1_000);
+
+    let offsets = [-100i64, -10, -3, -2, -1, 0, 1, 2, 3, 10];
+    let results = epoch_replay_attack(&mut tb, 0, &offsets);
+    row(&["epoch offset".into(), "majority delivery".into(), "expected".into()]);
+    let thr = 2i64;
+    for (offset, delivered) in &results {
+        let expected = offset.abs() <= thr;
+        row(&[
+            format!("{offset:+}"),
+            format!("{delivered}"),
+            format!("{expected}"),
+        ]);
+        assert_eq!(
+            *delivered, expected,
+            "offset {offset}: delivered={delivered}, expected={expected}"
+        );
+    }
+
+    // per-validator drop accounting
+    let dropped: u64 = (0..10)
+        .map(|i| {
+            tb.net
+                .node(wakurln_netsim::NodeId(i))
+                .validator()
+                .stats()
+                .epoch_out_of_window
+        })
+        .sum();
+    println!("out-of-window drops across validators: {dropped}");
+}
+
+fn bench_epoch_check(c: &mut Criterion) {
+    acceptance_curve();
+
+    let mut group = c.benchmark_group("e7_epoch_check");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    let scheme = EpochScheme::new(10, 20_000);
+    group.bench_function("within_window", |b| {
+        let mut e = 0u64;
+        b.iter(|| {
+            e += 1;
+            scheme.within_window(1_000_000, 1_000_000 + (e % 5))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch_check);
+criterion_main!(benches);

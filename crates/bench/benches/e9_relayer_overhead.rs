@@ -1,0 +1,82 @@
+//! E9 — Per-message relayer overhead: the full RLN validation pipeline
+//! vs PoW verification vs plain relaying.
+//!
+//! Paper §I/§IV: WAKU-RLN-RELAY's "light computational overhead makes it
+//! suitable for resource-limited environments" — the router-side cost is
+//! one constant-time proof verification plus O(1) epoch and nullifier-map
+//! checks per message, regardless of group size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use waku_rln_relay::{decode_signal, encode_signal, CostModel, EpochScheme, RlnValidator};
+use wakurln_baselines::pow;
+use wakurln_bench::{banner, row, ProveFixture};
+use wakurln_gossipsub::ValidationResult;
+
+fn overhead_table() {
+    banner(
+        "E9: relayer-side per-message validation overhead",
+        "RLN validation is constant across group sizes; suitable for weak devices",
+    );
+    // modeled device costs (paper's iPhone 8 numbers)
+    let cost = CostModel::default();
+    row(&["check".into(), "modeled µs (iPhone-8 profile)".into()]);
+    row(&["proof verify".into(), format!("{}", cost.verify_proof_micros)]);
+    row(&["epoch check".into(), format!("{}", cost.epoch_check_micros)]);
+    row(&["nullifier check".into(), format!("{}", cost.nullifier_check_micros)]);
+    row(&["sk reconstruction".into(), format!("{}", cost.reconstruct_micros)]);
+}
+
+fn bench_relayer_overhead(c: &mut Criterion) {
+    overhead_table();
+
+    let mut group = c.benchmark_group("e9_relayer_overhead");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    // full RLN pipeline (decode + verify + epoch + nullifier map), across
+    // group sizes — the series must be flat (constant overhead)
+    for depth in [10usize, 20, 32] {
+        let mut fixture = ProveFixture::new(depth, 7, 9);
+        let scheme = EpochScheme::default();
+        let root = fixture.tree.root();
+        let vk = fixture.verifying_key.clone();
+        // pre-encode many distinct signals so the nullifier map sees fresh
+        // entries (epoch varies)
+        let signals: Vec<Vec<u8>> = (0..64u64)
+            .map(|i| {
+                let epoch = scheme.epoch_at_ms(0) + (i % 3);
+                encode_signal(epoch, &fixture.signal(epoch, format!("m{i}").as_bytes()))
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("rln_full_pipeline", depth),
+            &depth,
+            |b, _| {
+                let mut validator =
+                    RlnValidator::new(vk.clone(), scheme, root, CostModel::default());
+                let mut i = 0usize;
+                b.iter(|| {
+                    let wire = decode_signal(&signals[i % signals.len()]).expect("well-formed");
+                    i += 1;
+                    validator.validate_wire(0, &wire)
+                });
+            },
+        );
+    }
+
+    // PoW verification (one hash)
+    let (envelope, _) = pow::seal(b"pow message", 12);
+    group.bench_function("pow_verify", |b| {
+        b.iter(|| pow::verify(&envelope, 12));
+    });
+
+    // plain relay (no validation at all): baseline floor
+    group.bench_function("plain_relay_noop", |b| {
+        b.iter(|| ValidationResult::Accept);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_relayer_overhead);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! # wakurln-bench
+//!
+//! Shared helpers for the experiment benches (`benches/e*.rs`), each of
+//! which regenerates one row-set of the paper's evaluation (see
+//! `EXPERIMENTS.md` at the workspace root for the experiment ↔ paper-claim
+//! mapping).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wakurln_crypto::field::Fr;
+use wakurln_crypto::merkle::SyncedPathTree;
+use wakurln_rln::{create_signal, Identity, Signal};
+use wakurln_zksnark::{ProvingKey, RlnCircuit, SimSnark, VerifyingKey};
+
+/// Prints an experiment banner so bench output reads as a report.
+pub fn banner(experiment: &str, claim: &str) {
+    println!();
+    println!("================================================================");
+    println!("{experiment}");
+    println!("paper claim: {claim}");
+    println!("================================================================");
+}
+
+/// Prints one aligned table row.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>18}")).collect();
+    println!("{}", line.join(" |"));
+}
+
+/// A ready-made RLN proving fixture at a given tree depth.
+///
+/// Uses the O(depth) [`SyncedPathTree`] so fixtures scale to the paper's
+/// depth-32 (2³²-member) groups without materializing the tree.
+pub struct ProveFixture {
+    /// The member identity.
+    pub identity: Identity,
+    /// The member's leaf index.
+    pub index: u64,
+    /// The light membership tree holding our own path.
+    pub tree: SyncedPathTree,
+    /// Proving key for the depth.
+    pub proving_key: ProvingKey,
+    /// Verifying key for the depth.
+    pub verifying_key: VerifyingKey,
+    /// Deterministic RNG for proof randomness.
+    pub rng: StdRng,
+}
+
+impl ProveFixture {
+    /// Builds the fixture. `depth` is the membership-tree depth (group
+    /// capacity `2^depth`); `extra_members` other members register before
+    /// us.
+    pub fn new(depth: usize, extra_members: u64, seed: u64) -> ProveFixture {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (proving_key, verifying_key) = SimSnark::setup(RlnCircuit::new(depth), &mut rng);
+        let mut tree = SyncedPathTree::new(depth).expect("valid depth");
+        for i in 0..extra_members {
+            tree.apply_append(Fr::from_u64(10_000 + i)).expect("capacity");
+        }
+        let identity = Identity::random(&mut rng);
+        let index = tree.register_own(identity.commitment()).expect("capacity");
+        ProveFixture {
+            identity,
+            index,
+            tree,
+            proving_key,
+            verifying_key,
+            rng,
+        }
+    }
+
+    /// Creates a signal for `message` in `epoch`.
+    pub fn signal(&mut self, epoch: u64, message: &[u8]) -> Signal {
+        create_signal(
+            &self.identity,
+            &self.tree.own_proof().expect("registered"),
+            self.tree.root(),
+            &self.proving_key,
+            Fr::from_u64(epoch),
+            message,
+            &mut self.rng,
+        )
+        .expect("honest witness proves")
+    }
+}
+
+/// Hashes a message to the field (re-export for benches).
+pub fn message_hash(message: &[u8]) -> Fr {
+    wakurln_crypto::poseidon::hash_bytes_to_field(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wakurln_rln::{verify_signal, SignalValidity};
+
+    #[test]
+    fn fixture_produces_verifiable_signals() {
+        let mut f = ProveFixture::new(10, 3, 1);
+        let sig = f.signal(5, b"bench");
+        assert_eq!(
+            verify_signal(&f.verifying_key, f.tree.root(), &sig),
+            SignalValidity::Valid
+        );
+    }
+
+    #[test]
+    fn fixture_scales_to_depth_32() {
+        // the paper's 2^32 group size — O(depth) memory makes this cheap
+        let mut f = ProveFixture::new(32, 100, 2);
+        let sig = f.signal(1, b"deep");
+        assert_eq!(
+            verify_signal(&f.verifying_key, f.tree.root(), &sig),
+            SignalValidity::Valid
+        );
+    }
+}

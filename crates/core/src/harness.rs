@@ -1,0 +1,572 @@
+//! Full-network testbed: WAKU-RLN-RELAY peers over the discrete-event
+//! network, synchronized with the simulated membership contract.
+//!
+//! This stitches together every piece of Figure 1: peers register on the
+//! chain (staking), sync the membership tree from contract events, publish
+//! rate-limited anonymous messages over gossip, detect double-signaling in
+//! their nullifier maps, and slash spammers back on the chain.
+
+use crate::epoch::EpochScheme;
+use crate::node::{PublishError, RlnRelayNode};
+use crate::validator::{CostModel, RlnValidator};
+use std::collections::HashSet;
+use wakurln_crypto::field::Fr;
+use wakurln_crypto::merkle::{zero_hashes, MerkleProof};
+use wakurln_ethsim::types::{Address, CallData, ChainEvent, Wei, ETHER};
+use wakurln_ethsim::{Chain, ChainConfig};
+use wakurln_gossipsub::{GossipsubConfig, MessageId, ScoringConfig};
+use wakurln_netsim::{topology, Network, NodeId, UniformLatency};
+use wakurln_rln::{Identity, RlnGroup};
+use wakurln_zksnark::{ProvingKey, RlnCircuit, SimSnark, VerifyingKey};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A processed membership event with the witness material a late-joining
+/// peer needs to replay it.
+#[derive(Clone, Debug)]
+enum ReplayEvent {
+    Registered {
+        commitment: Fr,
+    },
+    Slashed {
+        index: u64,
+        commitment: Fr,
+        witness: MerkleProof,
+    },
+}
+
+/// Testbed configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TestbedConfig {
+    /// Number of peers.
+    pub n_peers: usize,
+    /// Membership tree depth (keep ≤16 in tests; benches sweep deeper).
+    pub tree_depth: usize,
+    /// Epoch scheme (length `T`, delay bound `D`).
+    pub epoch: EpochScheme,
+    /// Bootstrap topology degree.
+    pub degree: usize,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Link latency bounds in milliseconds.
+    pub latency_ms: (u64, u64),
+    /// GossipSub parameters.
+    pub gossip: GossipsubConfig,
+    /// Peer-scoring parameters.
+    pub scoring: ScoringConfig,
+    /// Validation cost model (device profile).
+    pub cost: CostModel,
+    /// Stake per member, wei.
+    pub stake: Wei,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> TestbedConfig {
+        TestbedConfig {
+            n_peers: 20,
+            tree_depth: 12,
+            epoch: EpochScheme::default(),
+            degree: 6,
+            seed: 1,
+            latency_ms: (10, 80),
+            gossip: GossipsubConfig::default(),
+            scoring: ScoringConfig::default(),
+            cost: CostModel::default(),
+            stake: ETHER,
+        }
+    }
+}
+
+/// The assembled testbed.
+pub struct Testbed {
+    /// The peer network.
+    pub net: Network<RlnRelayNode>,
+    /// The simulated chain with the membership contract.
+    pub chain: Chain,
+    config: TestbedConfig,
+    /// Full observer view, used to produce witness paths for slashing
+    /// events (a slasher runs a full tree; light peers consume the
+    /// witness).
+    mirror: RlnGroup,
+    event_cursor: usize,
+    addresses: Vec<Address>,
+    identities: Vec<Identity>,
+    verifying_key: VerifyingKey,
+    proving_key: ProvingKey,
+    submitted_slashes: HashSet<[u8; 32]>,
+    /// Processed events, kept so late-joining peers can replay history.
+    replay_log: Vec<ReplayEvent>,
+    rng: StdRng,
+}
+
+impl Testbed {
+    /// Builds the network: trusted setup, chain deployment, peer creation,
+    /// funding, registration of every peer and initial event sync.
+    ///
+    /// After `build` the membership is mined and synced; callers should
+    /// still run a few simulated seconds for gossip meshes to form before
+    /// measuring propagation.
+    pub fn build(config: TestbedConfig) -> Testbed {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let (proving_key, verifying_key) =
+            SimSnark::setup(RlnCircuit::new(config.tree_depth), &mut rng);
+
+        let mut chain = Chain::new(ChainConfig {
+            stake_amount: config.stake,
+            tree_depth: config.tree_depth,
+            ..ChainConfig::default()
+        });
+
+        let adjacency = topology::random_regular(config.n_peers, config.degree, config.seed);
+        let mut net: Network<RlnRelayNode> = Network::new(
+            UniformLatency {
+                min_ms: config.latency_ms.0,
+                max_ms: config.latency_ms.1,
+            },
+            config.seed,
+        );
+
+        let empty_root = zero_hashes()[config.tree_depth];
+        let mut addresses = Vec::with_capacity(config.n_peers);
+        let mut identities = Vec::with_capacity(config.n_peers);
+        for (i, peers) in adjacency.into_iter().enumerate() {
+            let identity = Identity::random(&mut rng);
+            let validator = RlnValidator::new(
+                verifying_key.clone(),
+                config.epoch,
+                empty_root,
+                config.cost,
+            );
+            let mut node = RlnRelayNode::new(
+                peers,
+                validator,
+                proving_key.clone(),
+                config.tree_depth,
+                config.gossip,
+                config.scoring,
+            );
+            node.set_identity(identity);
+            net.add_node(node);
+
+            let address = Address::from_label(&format!("peer-{i}"));
+            chain.fund(address, 100 * config.stake);
+            chain
+                .submit(address, config.stake, CallData::Register {
+                    commitment: identity.commitment(),
+                })
+                .expect("funded");
+            addresses.push(address);
+            identities.push(identity);
+        }
+
+        let mut testbed = Testbed {
+            net,
+            chain,
+            config,
+            mirror: RlnGroup::new(config.tree_depth).expect("valid depth"),
+            event_cursor: 0,
+            addresses,
+            identities,
+            verifying_key,
+            proving_key,
+            submitted_slashes: HashSet::new(),
+            replay_log: Vec::new(),
+            rng,
+        };
+        // mine the registrations and sync everyone
+        let first_block = testbed.chain.config().block_interval;
+        testbed.chain.advance_to(first_block);
+        testbed.sync_chain_events();
+        testbed
+    }
+
+    /// The configuration the testbed was built with.
+    pub fn config(&self) -> &TestbedConfig {
+        &self.config
+    }
+
+    /// A peer's identity.
+    pub fn identity(&self, peer: usize) -> &Identity {
+        &self.identities[peer]
+    }
+
+    /// A peer's chain account.
+    pub fn address(&self, peer: usize) -> Address {
+        self.addresses[peer]
+    }
+
+    /// The shared verifying key.
+    pub fn verifying_key(&self) -> &VerifyingKey {
+        &self.verifying_key
+    }
+
+    /// Adds a **late-joining peer** while the network is running: creates
+    /// a fresh identity and account, replays the full membership history
+    /// into the newcomer's light tree (the §III "Group Synchronization"
+    /// bootstrap), wires it to `bootstrap` existing peers, and submits its
+    /// registration transaction. The registration lands with the next
+    /// mined block and syncs to everyone through the normal event flow.
+    ///
+    /// Returns the new peer's index.
+    pub fn add_peer(&mut self, bootstrap: &[usize]) -> usize {
+        let identity = Identity::random(&mut self.rng);
+        let empty_root = zero_hashes()[self.config.tree_depth];
+        let validator = RlnValidator::new(
+            self.verifying_key.clone(),
+            self.config.epoch,
+            empty_root,
+            self.config.cost,
+        );
+        let known: Vec<NodeId> = bootstrap.iter().map(|i| NodeId(*i)).collect();
+        let mut node = RlnRelayNode::new(
+            known,
+            validator,
+            self.proving_key.clone(),
+            self.config.tree_depth,
+            self.config.gossip,
+            self.config.scoring,
+        );
+        node.set_identity(identity);
+        // replay history so the newcomer's tree matches the network's
+        for event in &self.replay_log {
+            match event {
+                ReplayEvent::Registered { commitment } => {
+                    node.apply_registration(*commitment)
+                        .expect("replayed registration");
+                }
+                ReplayEvent::Slashed {
+                    index,
+                    commitment,
+                    witness,
+                } => {
+                    node.apply_slashing(*index, *commitment, witness)
+                        .expect("replayed slashing");
+                }
+            }
+        }
+        let id = self.net.add_node(node);
+        let peer = id.0;
+
+        let address = Address::from_label(&format!("peer-{peer}-late-{}", self.rng.gen::<u64>()));
+        self.chain.fund(address, 100 * self.config.stake);
+        self.chain
+            .submit(address, self.config.stake, CallData::Register {
+                commitment: identity.commitment(),
+            })
+            .expect("funded");
+        self.addresses.push(address);
+        self.identities.push(identity);
+        peer
+    }
+
+    /// Number of peers currently in the network (including late joiners).
+    pub fn peer_count(&self) -> usize {
+        self.net.len()
+    }
+
+    /// Advances the whole world (network, chain, event sync, slashing
+    /// submission) by `dt_ms`, in lock-step slices of `slice_ms`.
+    pub fn run(&mut self, dt_ms: u64, slice_ms: u64) {
+        assert!(slice_ms > 0, "slice must be positive");
+        let target = self.net.now() + dt_ms;
+        while self.net.now() < target {
+            let next = (self.net.now() + slice_ms).min(target);
+            self.net.run_until(next);
+            self.chain.advance_to(next / 1000);
+            self.sync_chain_events();
+            self.submit_detected_slashes();
+        }
+    }
+
+    /// Publishes through a peer's honest pipeline (rate-limited).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PublishError`] (e.g. `RateLimited`).
+    pub fn publish(&mut self, peer: usize, payload: &[u8]) -> Result<MessageId, PublishError> {
+        self.net
+            .invoke(NodeId(peer), |node, ctx| node.publish(ctx, payload))
+    }
+
+    /// Publishes bypassing the local rate limiter (the double-signaling
+    /// attack).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PublishError`].
+    pub fn publish_spam(
+        &mut self,
+        peer: usize,
+        payload: &[u8],
+    ) -> Result<MessageId, PublishError> {
+        self.net
+            .invoke(NodeId(peer), |node, ctx| node.publish_unchecked(ctx, payload))
+    }
+
+    /// Publishes with a forged epoch (`current + offset`) — the E7 replay
+    /// attack. Bypasses the local rate limiter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PublishError`].
+    pub fn publish_with_epoch_offset(
+        &mut self,
+        peer: usize,
+        payload: &[u8],
+        offset: i64,
+    ) -> Result<MessageId, PublishError> {
+        self.net.invoke(NodeId(peer), |node, ctx| {
+            node.publish_with_epoch_offset(ctx, payload, offset)
+        })
+    }
+
+    /// How many peers (other than `exclude`) have received `payload`.
+    pub fn delivery_count(&self, payload: &[u8], exclude: usize) -> usize {
+        (0..self.net.len())
+            .filter(|i| *i != exclude)
+            .filter(|i| {
+                self.net
+                    .node(NodeId(*i))
+                    .app_deliveries()
+                    .iter()
+                    .any(|(data, _)| data == payload)
+            })
+            .count()
+    }
+
+    /// Number of members still active on the contract.
+    pub fn active_members(&self) -> usize {
+        self.chain.membership().active_count()
+    }
+
+    /// Whether a peer is still a provable member locally.
+    pub fn is_member(&self, peer: usize) -> bool {
+        self.net.node(NodeId(peer)).is_member()
+    }
+
+    /// Total double-signals detected across all validators.
+    pub fn total_spam_detections(&self) -> u64 {
+        (0..self.net.len())
+            .map(|i| self.net.node(NodeId(i)).validator().stats().spam_detected)
+            .sum()
+    }
+
+    fn sync_chain_events(&mut self) {
+        let (events, cursor) = self.chain.events_since(self.event_cursor);
+        let events: Vec<ChainEvent> = events.iter().map(|e| e.event.clone()).collect();
+        self.event_cursor = cursor;
+        for event in events {
+            match event {
+                ChainEvent::MemberRegistered { index, commitment } => {
+                    let assigned = self
+                        .mirror
+                        .register(commitment)
+                        .expect("mirror registration");
+                    assert_eq!(assigned, index, "event order mismatch");
+                    for i in 0..self.net.len() {
+                        self.net
+                            .node_mut(NodeId(i))
+                            .apply_registration(commitment)
+                            .expect("peer registration sync");
+                    }
+                    self.replay_log.push(ReplayEvent::Registered { commitment });
+                }
+                ChainEvent::MemberSlashed { index, commitment, .. } => {
+                    let witness = self
+                        .mirror
+                        .membership_proof(index)
+                        .expect("witness for slashed member");
+                    self.mirror.remove(index).expect("mirror removal");
+                    for i in 0..self.net.len() {
+                        self.net
+                            .node_mut(NodeId(i))
+                            .apply_slashing(index, commitment, &witness)
+                            .expect("peer slashing sync");
+                    }
+                    self.replay_log.push(ReplayEvent::Slashed {
+                        index,
+                        commitment,
+                        witness,
+                    });
+                }
+                ChainEvent::TreeRootUpdated { .. } | ChainEvent::MessagePosted { .. } => {}
+            }
+        }
+    }
+
+    fn submit_detected_slashes(&mut self) {
+        for i in 0..self.net.len() {
+            let detections = self
+                .net
+                .node_mut(NodeId(i))
+                .validator_mut()
+                .take_detections();
+            for detection in detections {
+                let key = detection.evidence.commitment.to_bytes_le();
+                if self.submitted_slashes.insert(key) {
+                    self.chain
+                        .submit(self.addresses[i], 0, CallData::Slash {
+                            secret: detection.evidence.revealed_secret,
+                        })
+                        .expect("slash submission");
+                    self.net
+                        .metrics_mut()
+                        .count("slash_submissions", 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Testbed {
+        Testbed::build(TestbedConfig {
+            n_peers: 8,
+            tree_depth: 10,
+            degree: 4,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn build_registers_everyone() {
+        let tb = small();
+        assert_eq!(tb.active_members(), 8);
+        for i in 0..8 {
+            assert!(tb.is_member(i), "peer {i} not synced");
+        }
+        // all local roots agree with the mirror
+        let root = tb.mirror.root();
+        for i in 0..8 {
+            assert_eq!(tb.net.node(NodeId(i)).membership_root(), root);
+        }
+    }
+
+    #[test]
+    fn honest_publish_reaches_network() {
+        let mut tb = small();
+        tb.run(8_000, 1_000); // mesh formation
+        tb.publish(0, b"hello rln").unwrap();
+        tb.run(15_000, 1_000);
+        assert!(tb.delivery_count(b"hello rln", 0) >= 6);
+    }
+
+    #[test]
+    fn local_rate_limiter_blocks_second_message_same_epoch() {
+        let mut tb = small();
+        tb.run(8_000, 1_000);
+        tb.publish(0, b"one").unwrap();
+        let err = tb.publish(0, b"two").unwrap_err();
+        assert!(matches!(err, PublishError::RateLimited { .. }));
+    }
+
+    #[test]
+    fn double_signal_is_detected_and_spammer_slashed_on_chain() {
+        let mut tb = small();
+        tb.run(8_000, 1_000);
+        let spammer = 3;
+        tb.publish_spam(spammer, b"spam-a").unwrap();
+        tb.publish_spam(spammer, b"spam-b").unwrap();
+        // run long enough for gossip + detection + a chain block + sync
+        tb.run(30_000, 1_000);
+        assert!(tb.total_spam_detections() >= 1, "no detection");
+        assert_eq!(tb.active_members(), 7, "spammer not slashed");
+        assert!(!tb.is_member(spammer), "spammer still has membership");
+        // slasher got rewarded: someone's balance grew beyond funding minus stake
+        let rewarded = (0..8).any(|i| {
+            tb.chain.balance_of(tb.address(i)) > 100 * ETHER - ETHER
+        });
+        assert!(rewarded, "no slasher reward paid");
+    }
+
+    #[test]
+    fn honest_peers_unaffected_by_slashing_of_spammer() {
+        let mut tb = small();
+        tb.run(8_000, 1_000);
+        tb.publish_spam(2, b"s1").unwrap();
+        tb.publish_spam(2, b"s2").unwrap();
+        tb.run(30_000, 1_000);
+        assert!(!tb.is_member(2));
+        // an honest peer can still publish and be heard
+        tb.publish(5, b"life goes on").unwrap();
+        tb.run(15_000, 1_000);
+        assert!(tb.delivery_count(b"life goes on", 5) >= 6);
+    }
+}
+
+#[cfg(test)]
+mod late_join_tests {
+    use super::*;
+
+    #[test]
+    fn late_joiner_syncs_and_participates() {
+        let mut tb = Testbed::build(TestbedConfig {
+            n_peers: 6,
+            tree_depth: 10,
+            degree: 3,
+            seed: 31,
+            ..Default::default()
+        });
+        tb.run(8_000, 1_000);
+
+        // a spammer is slashed before the newcomer arrives — history the
+        // newcomer must replay correctly
+        tb.publish_spam(2, b"pre-a").unwrap();
+        tb.publish_spam(2, b"pre-b").unwrap();
+        tb.run(30_000, 1_000);
+        assert_eq!(tb.active_members(), 5);
+
+        let newbie = tb.add_peer(&[0, 1, 3]);
+        assert_eq!(newbie, 6);
+        // registration mines, syncs, meshes form
+        tb.run(20_000, 1_000);
+        assert!(tb.is_member(newbie), "late joiner not registered");
+        assert_eq!(tb.active_members(), 6);
+        // its root agrees with an old peer's
+        assert_eq!(
+            tb.net.node(NodeId(newbie)).membership_root(),
+            tb.net.node(NodeId(0)).membership_root()
+        );
+
+        // it can publish and be heard...
+        tb.publish(newbie, b"hello from the late joiner").unwrap();
+        tb.run(15_000, 1_000);
+        assert!(tb.delivery_count(b"hello from the late joiner", newbie) >= 4);
+
+        // ...and it receives others' messages
+        tb.run(11_000, 1_000); // next epoch for peer 0
+        tb.publish(0, b"welcome aboard").unwrap();
+        tb.run(15_000, 1_000);
+        let got = tb
+            .net
+            .node(NodeId(newbie))
+            .app_deliveries()
+            .iter()
+            .any(|(m, _)| m == b"welcome aboard");
+        assert!(got, "late joiner did not receive traffic");
+    }
+
+    #[test]
+    fn late_joining_spammer_is_slashed_too() {
+        let mut tb = Testbed::build(TestbedConfig {
+            n_peers: 6,
+            tree_depth: 10,
+            degree: 3,
+            seed: 32,
+            ..Default::default()
+        });
+        tb.run(8_000, 1_000);
+        let newbie = tb.add_peer(&[0, 1, 2]);
+        tb.run(20_000, 1_000);
+        assert!(tb.is_member(newbie));
+
+        tb.publish_spam(newbie, b"late-spam-1").unwrap();
+        tb.publish_spam(newbie, b"late-spam-2").unwrap();
+        tb.run(40_000, 1_000);
+        assert!(!tb.is_member(newbie), "late-joining spammer survived");
+        assert_eq!(tb.active_members(), 6);
+    }
+}

@@ -1,0 +1,286 @@
+//! The WAKU-RLN-RELAY peer.
+
+use crate::codec::encode_signal;
+use crate::epoch::EpochScheme;
+use crate::validator::RlnValidator;
+use wakurln_crypto::field::Fr;
+use wakurln_crypto::merkle::{MerkleError, MerkleProof, SyncedPathTree, EMPTY_LEAF};
+use wakurln_gossipsub::{GossipsubConfig, MessageId, Rpc, ScoringConfig, Topic};
+use wakurln_netsim::{Context, Node, NodeId};
+use wakurln_relay::{WakuMessage, WakuRelayNode};
+use wakurln_rln::{create_signal, Identity};
+use wakurln_zksnark::{ProveError, ProvingKey};
+
+/// Errors from publishing through the RLN pipeline.
+#[derive(Debug)]
+pub enum PublishError {
+    /// This peer holds no registered identity (not a group member yet).
+    NotRegistered,
+    /// The local rate limiter refused: one message per epoch (§III).
+    RateLimited {
+        /// The epoch in which this peer already published.
+        epoch: u64,
+    },
+    /// Proof generation failed (stale membership state).
+    Prove(ProveError),
+    /// The local tree has no own-path (membership was slashed remotely).
+    MembershipLost,
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::NotRegistered => write!(f, "peer holds no registered RLN identity"),
+            PublishError::RateLimited { epoch } => {
+                write!(f, "already published in epoch {epoch} (limit: 1 per epoch)")
+            }
+            PublishError::Prove(e) => write!(f, "proof generation failed: {e}"),
+            PublishError::MembershipLost => write!(f, "membership was removed from the tree"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+impl From<ProveError> for PublishError {
+    fn from(e: ProveError) -> PublishError {
+        PublishError::Prove(e)
+    }
+}
+
+/// A full WAKU-RLN-RELAY peer: WAKU-RELAY routing + the RLN validator +
+/// a light membership view + the publishing pipeline.
+///
+/// Peers keep the membership tree **off-chain** (§III): this node uses the
+/// O(depth) [`SyncedPathTree`], updated from contract events delivered by
+/// the harness, so a depth-20 group costs ~1.3 KB instead of 67 MB (E3).
+pub struct RlnRelayNode {
+    relay: WakuRelayNode<RlnValidator>,
+    tree: SyncedPathTree,
+    identity: Option<Identity>,
+    proving_key: ProvingKey,
+    epoch_scheme: EpochScheme,
+    last_published_epoch: Option<u64>,
+    content_topic: String,
+    /// Count of publishes refused by the local rate limiter.
+    pub rate_limited_count: u64,
+}
+
+impl RlnRelayNode {
+    /// Creates a peer. `proving_key`/validator must come from the same
+    /// trusted setup across the network.
+    pub fn new(
+        known_peers: Vec<NodeId>,
+        validator: RlnValidator,
+        proving_key: ProvingKey,
+        tree_depth: usize,
+        gossip: GossipsubConfig,
+        scoring: ScoringConfig,
+    ) -> RlnRelayNode {
+        let epoch_scheme = validator.epoch_scheme();
+        RlnRelayNode {
+            relay: WakuRelayNode::new(
+                gossip,
+                scoring,
+                known_peers,
+                validator,
+                Topic::new(wakurln_relay::DEFAULT_PUBSUB_TOPIC),
+            ),
+            tree: SyncedPathTree::new(tree_depth).expect("valid depth"),
+            identity: None,
+            proving_key,
+            epoch_scheme,
+            last_published_epoch: None,
+            content_topic: "/waku/rln/1/chat/proto".to_string(),
+            rate_limited_count: 0,
+        }
+    }
+
+    /// Assigns the identity this peer will register with.
+    pub fn set_identity(&mut self, identity: Identity) {
+        self.identity = Some(identity);
+    }
+
+    /// This peer's identity, if any.
+    pub fn identity(&self) -> Option<&Identity> {
+        self.identity.as_ref()
+    }
+
+    /// Whether this peer currently holds a provable membership.
+    pub fn is_member(&self) -> bool {
+        self.tree.own_proof().is_some()
+    }
+
+    /// The local view of the membership root.
+    pub fn membership_root(&self) -> Fr {
+        self.tree.root()
+    }
+
+    /// Applies a `MemberRegistered` contract event. If the commitment is
+    /// our own identity's, the own-path is snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree errors (full tree).
+    pub fn apply_registration(&mut self, commitment: Fr) -> Result<u64, MerkleError> {
+        let is_own = self
+            .identity
+            .map(|id| id.commitment() == commitment && self.tree.own_index().is_none())
+            .unwrap_or(false);
+        let index = if is_own {
+            self.tree.register_own(commitment)?
+        } else {
+            self.tree.apply_append(commitment)?
+        };
+        self.relay.validator_mut().push_root(self.tree.root());
+        Ok(index)
+    }
+
+    /// Applies a `MemberSlashed` contract event, authenticated by the
+    /// witness path distributed with the event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree errors (stale witness, bad index).
+    pub fn apply_slashing(
+        &mut self,
+        index: u64,
+        commitment: Fr,
+        witness: &MerkleProof,
+    ) -> Result<(), MerkleError> {
+        self.tree
+            .apply_update_with_witness(index, commitment, EMPTY_LEAF, witness)?;
+        self.relay.validator_mut().push_root(self.tree.root());
+        Ok(())
+    }
+
+    /// Publishes an application payload through the full RLN pipeline:
+    /// local rate-limit check, signal creation (proof generation), WAKU
+    /// encoding, gossip publish.
+    ///
+    /// # Errors
+    ///
+    /// See [`PublishError`]; in particular the local limiter refuses a
+    /// second message in one epoch — honest peers never double-signal.
+    pub fn publish(
+        &mut self,
+        ctx: &mut Context<'_, Rpc>,
+        payload: &[u8],
+    ) -> Result<MessageId, PublishError> {
+        let epoch = self.epoch_scheme.epoch_at_ms(ctx.now());
+        if self.last_published_epoch == Some(epoch) {
+            self.rate_limited_count += 1;
+            return Err(PublishError::RateLimited { epoch });
+        }
+        let id = self.publish_unchecked(ctx, payload)?;
+        self.last_published_epoch = Some(epoch);
+        Ok(id)
+    }
+
+    /// Publishes **bypassing the local rate limiter** — the double-signal
+    /// attack primitive used by the spam experiments. The network-side
+    /// defenses (nullifier maps on every router) must catch this.
+    ///
+    /// # Errors
+    ///
+    /// See [`PublishError`] (all but `RateLimited` still apply).
+    pub fn publish_unchecked(
+        &mut self,
+        ctx: &mut Context<'_, Rpc>,
+        payload: &[u8],
+    ) -> Result<MessageId, PublishError> {
+        self.publish_with_epoch_offset(ctx, payload, 0)
+    }
+
+    /// Publishes with a forged epoch `current + offset` — the replay /
+    /// future-dating attack primitive of experiment E7. The proof itself
+    /// is valid for the forged epoch (a newly registered spammer *can*
+    /// prove past epochs); only the routers' `Thr` window stops it.
+    ///
+    /// # Errors
+    ///
+    /// See [`PublishError`].
+    pub fn publish_with_epoch_offset(
+        &mut self,
+        ctx: &mut Context<'_, Rpc>,
+        payload: &[u8],
+        epoch_offset: i64,
+    ) -> Result<MessageId, PublishError> {
+        let identity = self.identity.ok_or(PublishError::NotRegistered)?;
+        let proof = self.tree.own_proof().ok_or(PublishError::MembershipLost)?;
+        let epoch = self
+            .epoch_scheme
+            .epoch_at_ms(ctx.now())
+            .saturating_add_signed(epoch_offset);
+        let signal = create_signal(
+            &identity,
+            &proof,
+            self.tree.root(),
+            &self.proving_key,
+            self.epoch_scheme.to_field(epoch),
+            payload,
+            ctx.rng(),
+        )?;
+        let waku = WakuMessage::new(self.content_topic.clone(), encode_signal(epoch, &signal));
+        ctx.count("rln_published", 1);
+        Ok(self.relay.publish(ctx, &waku))
+    }
+
+    /// Injects a raw WAKU message **without any RLN fields** — the
+    /// junk-injection attack primitive (a peer spraying malformed frames).
+    /// Honest relayers reject these at validation and penalize the
+    /// forwarding peer's score.
+    pub fn inject_raw(&mut self, ctx: &mut Context<'_, Rpc>, waku: &WakuMessage) -> MessageId {
+        self.relay.publish(ctx, waku)
+    }
+
+    /// Application deliveries: decoded `(payload, arrival_ms)` pairs of
+    /// accepted RLN messages.
+    pub fn app_deliveries(&self) -> Vec<(Vec<u8>, u64)> {
+        self.relay
+            .waku_deliveries()
+            .into_iter()
+            .filter_map(|(waku, at)| {
+                crate::codec::decode_signal(&waku.payload)
+                    .ok()
+                    .map(|wire| (wire.signal.message, at))
+            })
+            .collect()
+    }
+
+    /// The RLN validator (stats, detections, nullifier map).
+    pub fn validator(&self) -> &RlnValidator {
+        self.relay.validator()
+    }
+
+    /// Mutable validator access (the harness drains detections).
+    pub fn validator_mut(&mut self) -> &mut RlnValidator {
+        self.relay.validator_mut()
+    }
+
+    /// The underlying relay node (mesh/scoring diagnostics).
+    pub fn relay(&self) -> &WakuRelayNode<RlnValidator> {
+        &self.relay
+    }
+
+    /// Light-tree storage footprint in bytes (E3).
+    pub fn membership_storage_bytes(&self) -> usize {
+        self.tree.storage_bytes()
+    }
+}
+
+impl Node for RlnRelayNode {
+    type Message = Rpc;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Rpc>) {
+        self.relay.on_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: Rpc) {
+        self.relay.on_message(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Rpc>, token: u64) {
+        self.relay.on_timer(ctx, token);
+    }
+}

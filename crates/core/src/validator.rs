@@ -1,0 +1,445 @@
+//! The WAKU-RLN-RELAY validation pipeline, plugged into GossipSub.
+//!
+//! §III "Routing and Slashing", in order:
+//!
+//! 1. verify the zkSNARK proof (discard on failure),
+//! 2. check the message epoch against the local epoch
+//!    (`|Δ| ≤ Thr = D/T`),
+//! 3. look the internal nullifier up in the nullifier map; a collision
+//!    with a distinct share is double-signaling — reconstruct the secret
+//!    key and queue slashing evidence.
+//!
+//! The message is relayed only if all checks pass.
+
+use crate::codec::{decode_signal, WireSignal};
+use crate::epoch::EpochScheme;
+use crate::nullifier_map::{NullifierMap, NullifierOutcome};
+use std::collections::VecDeque;
+use wakurln_crypto::field::Fr;
+use wakurln_gossipsub::{Topic, ValidationResult, Validator};
+use wakurln_relay::WakuMessage;
+use wakurln_rln::{analyze_double_signal, build_evidence, DoubleSignalOutcome, SlashingEvidence};
+use wakurln_rln::{verify_signal, SignalValidity};
+use wakurln_zksnark::VerifyingKey;
+
+/// Modeled per-check CPU costs in microseconds, used for the
+/// resource-restricted-device accounting (E6/E9). Defaults follow the
+/// paper's §IV numbers ("Proof verification run time is constant and takes
+/// ≈ 30ms" on an iPhone 8).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// One zkSNARK proof verification.
+    pub verify_proof_micros: u64,
+    /// One epoch comparison.
+    pub epoch_check_micros: u64,
+    /// One nullifier-map lookup + insert.
+    pub nullifier_check_micros: u64,
+    /// One secret reconstruction (two Shamir shares).
+    pub reconstruct_micros: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            verify_proof_micros: 30_000,
+            epoch_check_micros: 1,
+            nullifier_check_micros: 5,
+            reconstruct_micros: 100,
+        }
+    }
+}
+
+/// Why a message was dropped (or accepted) — per-counter statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValidationStats {
+    /// Accepted and relayed.
+    pub valid: u64,
+    /// Undecodable payloads.
+    pub malformed: u64,
+    /// zkSNARK verification failures (incl. unknown roots).
+    pub invalid_proof: u64,
+    /// Epoch outside the `Thr` window.
+    pub epoch_out_of_window: u64,
+    /// Exact duplicates (same nullifier, same share).
+    pub duplicates: u64,
+    /// Double-signaling caught.
+    pub spam_detected: u64,
+}
+
+/// A caught spammer, ready for on-chain slashing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpamDetection {
+    /// Contract-ready evidence (revealed secret + commitment).
+    pub evidence: SlashingEvidence,
+    /// Epoch number of the violation.
+    pub epoch: u64,
+}
+
+/// The RLN validator state held by every routing peer.
+#[derive(Clone, Debug)]
+pub struct RlnValidator {
+    verifying_key: VerifyingKey,
+    epoch_scheme: EpochScheme,
+    /// Roots this peer currently accepts. A small window of recent roots
+    /// (not just the latest) tolerates proofs generated moments before a
+    /// membership change — the group-synchronization reality of §III.
+    accepted_roots: VecDeque<Fr>,
+    root_window: usize,
+    nullifier_map: NullifierMap,
+    detections: Vec<SpamDetection>,
+    stats: ValidationStats,
+    cost: CostModel,
+    last_cost: u64,
+}
+
+impl RlnValidator {
+    /// Creates a validator; `initial_root` is the membership root known at
+    /// startup (typically the empty tree).
+    pub fn new(
+        verifying_key: VerifyingKey,
+        epoch_scheme: EpochScheme,
+        initial_root: Fr,
+        cost: CostModel,
+    ) -> RlnValidator {
+        let mut accepted_roots = VecDeque::new();
+        accepted_roots.push_back(initial_root);
+        RlnValidator {
+            verifying_key,
+            epoch_scheme,
+            accepted_roots,
+            root_window: 8,
+            nullifier_map: NullifierMap::new(),
+            detections: Vec::new(),
+            stats: ValidationStats::default(),
+            cost,
+            last_cost: 0,
+        }
+    }
+
+    /// Registers a new membership root (called on every contract event the
+    /// peer syncs). Keeps the last `root_window` roots acceptable.
+    pub fn push_root(&mut self, root: Fr) {
+        if self.accepted_roots.back() == Some(&root) {
+            return;
+        }
+        self.accepted_roots.push_back(root);
+        while self.accepted_roots.len() > self.root_window {
+            self.accepted_roots.pop_front();
+        }
+    }
+
+    /// The most recent root.
+    pub fn current_root(&self) -> Fr {
+        *self.accepted_roots.back().expect("never empty")
+    }
+
+    /// Sets how many recent roots remain acceptable (default 8). A window
+    /// of 1 accepts only the latest root: proofs generated moments before
+    /// any membership change get rejected — the ablation
+    /// `tests/ablation_root_window.rs` measures this design choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn set_root_window(&mut self, window: usize) {
+        assert!(window >= 1, "window must hold at least the current root");
+        self.root_window = window;
+        while self.accepted_roots.len() > window {
+            self.accepted_roots.pop_front();
+        }
+    }
+
+    /// Validation statistics so far.
+    pub fn stats(&self) -> ValidationStats {
+        self.stats
+    }
+
+    /// Caught spammers not yet drained (the node submits these to the
+    /// chain and clears the queue).
+    pub fn detections(&self) -> &[SpamDetection] {
+        &self.detections
+    }
+
+    /// Drains the detection queue.
+    pub fn take_detections(&mut self) -> Vec<SpamDetection> {
+        std::mem::take(&mut self.detections)
+    }
+
+    /// The epoch scheme in use.
+    pub fn epoch_scheme(&self) -> EpochScheme {
+        self.epoch_scheme
+    }
+
+    /// Current nullifier-map footprint in bytes (E8).
+    pub fn nullifier_map_bytes(&self) -> usize {
+        self.nullifier_map.memory_bytes()
+    }
+
+    /// Validates a decoded wire signal at local time `now_ms`. Exposed for
+    /// direct use by tests and benchmarks; gossipsub goes through the
+    /// [`Validator`] impl.
+    pub fn validate_wire(&mut self, now_ms: u64, wire: &WireSignal) -> ValidationResult {
+        let mut cost = 0;
+
+        // 1. proof verification (root must be one we accept)
+        cost += self.cost.verify_proof_micros;
+        let known_root = self.accepted_roots.contains(&wire.signal.root);
+        let proof_ok = known_root
+            && verify_signal(&self.verifying_key, wire.signal.root, &wire.signal)
+                == SignalValidity::Valid;
+        if !proof_ok {
+            self.stats.invalid_proof += 1;
+            self.last_cost = cost;
+            return ValidationResult::Reject;
+        }
+
+        // 2. epoch window
+        cost += self.cost.epoch_check_micros;
+        let local_epoch = self.epoch_scheme.epoch_at_ms(now_ms);
+        if !self.epoch_scheme.within_window(local_epoch, wire.epoch) {
+            self.stats.epoch_out_of_window += 1;
+            self.last_cost = cost;
+            // an honest-but-late relay is indistinguishable from a replay
+            // attacker here; drop without scoring penalty
+            return ValidationResult::Ignore;
+        }
+
+        // 3. nullifier map
+        cost += self.cost.nullifier_check_micros;
+        let outcome = self.nullifier_map.insert(
+            wire.epoch,
+            wire.signal.internal_nullifier,
+            wire.signal.share,
+        );
+        self.nullifier_map
+            .gc(local_epoch, self.epoch_scheme.threshold());
+        let result = match outcome {
+            NullifierOutcome::Fresh => {
+                self.stats.valid += 1;
+                ValidationResult::Accept
+            }
+            NullifierOutcome::DuplicateMessage => {
+                self.stats.duplicates += 1;
+                ValidationResult::Ignore
+            }
+            NullifierOutcome::DoubleSignal { prior_share } => {
+                cost += self.cost.reconstruct_micros;
+                self.stats.spam_detected += 1;
+                // rebuild the prior signal's share pair for reconstruction
+                let mut prior = wire.signal.clone();
+                prior.share = prior_share;
+                match analyze_double_signal(&prior, &wire.signal) {
+                    DoubleSignalOutcome::SecretRecovered(sk) => {
+                        if let Some(evidence) = build_evidence(sk, &wire.signal) {
+                            self.detections.push(SpamDetection {
+                                evidence,
+                                epoch: wire.epoch,
+                            });
+                        }
+                    }
+                    DoubleSignalOutcome::Duplicate
+                    | DoubleSignalOutcome::InconsistentShares => {
+                        // cannot happen for proof-verified signals: the
+                        // circuit pins y to x, and distinct shares imply
+                        // distinct x
+                    }
+                }
+                ValidationResult::Reject
+            }
+        };
+        self.last_cost = cost;
+        result
+    }
+}
+
+impl Validator for RlnValidator {
+    fn validate(&mut self, now_ms: u64, _topic: &Topic, data: &[u8]) -> ValidationResult {
+        let Ok(waku) = WakuMessage::decode(data) else {
+            self.stats.malformed += 1;
+            self.last_cost = self.cost.epoch_check_micros;
+            return ValidationResult::Reject;
+        };
+        let Ok(wire) = decode_signal(&waku.payload) else {
+            self.stats.malformed += 1;
+            self.last_cost = self.cost.epoch_check_micros;
+            return ValidationResult::Reject;
+        };
+        self.validate_wire(now_ms, &wire)
+    }
+
+    fn last_cost_micros(&self) -> u64 {
+        self.last_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wakurln_rln::{create_signal, Identity, RlnGroup};
+    use wakurln_zksnark::{ProvingKey, RlnCircuit, SimSnark};
+
+    struct Fixture {
+        validator: RlnValidator,
+        group: RlnGroup,
+        id: Identity,
+        index: u64,
+        pk: ProvingKey,
+        rng: StdRng,
+        scheme: EpochScheme,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(41);
+        let depth = 10;
+        let (pk, vk) = SimSnark::setup(RlnCircuit::new(depth), &mut rng);
+        let mut group = RlnGroup::new(depth).unwrap();
+        let id = Identity::random(&mut rng);
+        let index = group.register(id.commitment()).unwrap();
+        let scheme = EpochScheme::new(10, 20_000); // Thr = 2
+        let validator = RlnValidator::new(vk, scheme, group.root(), CostModel::default());
+        Fixture { validator, group, id, index, pk, rng, scheme }
+    }
+
+    fn wire_at(f: &mut Fixture, now_ms: u64, msg: &[u8]) -> WireSignal {
+        let epoch = f.scheme.epoch_at_ms(now_ms);
+        let signal = create_signal(
+            &f.id,
+            &f.group.membership_proof(f.index).unwrap(),
+            f.group.root(),
+            &f.pk,
+            f.scheme.to_field(epoch),
+            msg,
+            &mut f.rng,
+        )
+        .unwrap();
+        WireSignal { epoch, signal }
+    }
+
+    #[test]
+    fn honest_message_accepted() {
+        let mut f = fixture();
+        let wire = wire_at(&mut f, 1000, b"hi");
+        assert_eq!(f.validator.validate_wire(1000, &wire), ValidationResult::Accept);
+        assert_eq!(f.validator.stats().valid, 1);
+        // cost charged ≈ verification cost
+        assert!(f.validator.last_cost_micros() >= 30_000);
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let mut f = fixture();
+        let mut wire = wire_at(&mut f, 1000, b"hi");
+        wire.signal.proof.binding[0] ^= 1;
+        assert_eq!(f.validator.validate_wire(1000, &wire), ValidationResult::Reject);
+        assert_eq!(f.validator.stats().invalid_proof, 1);
+    }
+
+    #[test]
+    fn unknown_root_rejected() {
+        let mut f = fixture();
+        let wire = wire_at(&mut f, 1000, b"hi");
+        let fresh_vk_validator = &mut f.validator;
+        // simulate a validator that never saw this root
+        let mut other = RlnValidator::new(
+            fresh_vk_validator.verifying_key.clone(),
+            f.scheme,
+            Fr::from_u64(12345),
+            CostModel::default(),
+        );
+        assert_eq!(other.validate_wire(1000, &wire), ValidationResult::Reject);
+    }
+
+    #[test]
+    fn replayed_old_epoch_ignored() {
+        let mut f = fixture();
+        let wire = wire_at(&mut f, 1000, b"hi"); // epoch at t=1s
+        // 50 s later (Thr = 2 epochs = 20 s): out of window
+        assert_eq!(
+            f.validator.validate_wire(51_000, &wire),
+            ValidationResult::Ignore
+        );
+        assert_eq!(f.validator.stats().epoch_out_of_window, 1);
+    }
+
+    #[test]
+    fn future_epoch_ignored() {
+        let mut f = fixture();
+        let wire = wire_at(&mut f, 100_000, b"hi");
+        assert_eq!(f.validator.validate_wire(1_000, &wire), ValidationResult::Ignore);
+    }
+
+    #[test]
+    fn double_signal_detected_and_secret_reconstructed() {
+        let mut f = fixture();
+        let w1 = wire_at(&mut f, 1000, b"first");
+        let w2 = wire_at(&mut f, 1500, b"second"); // same epoch (T = 10 s)
+        assert_eq!(f.validator.validate_wire(1000, &w1), ValidationResult::Accept);
+        assert_eq!(f.validator.validate_wire(1500, &w2), ValidationResult::Reject);
+        assert_eq!(f.validator.stats().spam_detected, 1);
+        let detections = f.validator.take_detections();
+        assert_eq!(detections.len(), 1);
+        assert_eq!(detections[0].evidence.revealed_secret, f.id.secret());
+        assert_eq!(detections[0].evidence.commitment, f.id.commitment());
+        // queue drained
+        assert!(f.validator.detections().is_empty());
+    }
+
+    #[test]
+    fn identical_message_is_duplicate_not_spam() {
+        let mut f = fixture();
+        let w1 = wire_at(&mut f, 1000, b"same");
+        assert_eq!(f.validator.validate_wire(1000, &w1), ValidationResult::Accept);
+        assert_eq!(f.validator.validate_wire(1200, &w1), ValidationResult::Ignore);
+        assert_eq!(f.validator.stats().duplicates, 1);
+        assert_eq!(f.validator.stats().spam_detected, 0);
+    }
+
+    #[test]
+    fn messages_in_different_epochs_both_accepted() {
+        let mut f = fixture();
+        let w1 = wire_at(&mut f, 1_000, b"a");
+        let w2 = wire_at(&mut f, 11_000, b"b"); // next epoch
+        assert_eq!(f.validator.validate_wire(1_000, &w1), ValidationResult::Accept);
+        assert_eq!(f.validator.validate_wire(11_000, &w2), ValidationResult::Accept);
+        assert_eq!(f.validator.stats().valid, 2);
+    }
+
+    #[test]
+    fn root_window_tolerates_recent_membership_change() {
+        let mut f = fixture();
+        let wire = wire_at(&mut f, 1000, b"pre-change");
+        // a new member registers; root advances
+        let newcomer = Identity::from_secret(Fr::from_u64(777));
+        f.group.register(newcomer.commitment()).unwrap();
+        f.validator.push_root(f.group.root());
+        // the proof against the *old* root still validates (window)
+        assert_eq!(f.validator.validate_wire(1000, &wire), ValidationResult::Accept);
+        assert_eq!(f.validator.current_root(), f.group.root());
+    }
+
+    #[test]
+    fn root_window_is_bounded() {
+        let mut f = fixture();
+        let original_root = f.group.root();
+        for i in 0..20u64 {
+            f.validator.push_root(Fr::from_u64(i));
+        }
+        assert!(!f.validator.accepted_roots.contains(&original_root));
+        assert!(f.validator.accepted_roots.len() <= 8);
+    }
+
+    #[test]
+    fn malformed_payload_rejected_via_validator_trait() {
+        let mut f = fixture();
+        let result = Validator::validate(
+            &mut f.validator,
+            1000,
+            &Topic::new("t"),
+            b"not a waku message",
+        );
+        assert_eq!(result, ValidationResult::Reject);
+        assert_eq!(f.validator.stats().malformed, 1);
+    }
+}

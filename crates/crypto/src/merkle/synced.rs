@@ -1,0 +1,465 @@
+//! The reference \[9\] light-member tree: own authentication path kept in
+//! sync with remote membership events using only O(depth) storage.
+
+use super::{node_hash, validate_depth, zero_hashes, MerkleError, MerkleProof};
+use crate::field::Fr;
+
+/// A light member's view of the membership tree.
+///
+/// The paper (§IV, citing vacp2p's Merkle-tree-update note \[9\]) observes
+/// that a publishing peer does not need the full 67 MB depth-20 tree: it
+/// only ever proves *its own* membership, so it can store just
+///
+/// * the append **frontier** (`depth` hashes) to track the running root, and
+/// * its **own authentication path** (`depth` hashes),
+///
+/// and update both incrementally as membership events arrive:
+///
+/// * **Insertions** (`MemberRegistered` contract events) are append-only, so
+///   the new values of every node along the inserted leaf's branch are
+///   computable from the frontier alone — if one of those nodes is a sibling
+///   on our own path, we refresh it in place.
+/// * **Deletions** (`MemberSlashed` events) touch an arbitrary index; the
+///   event is accompanied by the deleted member's authentication path (the
+///   slasher, who runs a full tree, includes it), which this structure
+///   verifies against its current root before applying.
+///
+/// Total storage is `2·depth + O(1)` hashes — about 1.3 KB at depth 20
+/// versus 67 MB for [`super::FullMerkleTree`], reproducing the paper's
+/// storage-optimization claim (E3).
+///
+/// # Examples
+///
+/// ```
+/// use wakurln_crypto::{field::Fr, merkle::{FullMerkleTree, SyncedPathTree}};
+///
+/// let mut light = SyncedPathTree::new(8)?;
+/// let mut network = FullMerkleTree::new(8)?;
+///
+/// // someone else registers first
+/// network.append(Fr::from_u64(100))?;
+/// light.apply_append(Fr::from_u64(100))?;
+///
+/// // we register
+/// network.append(Fr::from_u64(200))?;
+/// let my_index = light.register_own(Fr::from_u64(200))?;
+/// assert_eq!(my_index, 1);
+///
+/// // a third member registers; our path stays valid
+/// network.append(Fr::from_u64(300))?;
+/// light.apply_append(Fr::from_u64(300))?;
+///
+/// let proof = light.own_proof().unwrap();
+/// assert_eq!(light.root(), network.root());
+/// assert!(proof.verify(network.root(), Fr::from_u64(200)));
+/// # Ok::<(), wakurln_crypto::merkle::MerkleError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SyncedPathTree {
+    depth: usize,
+    next_index: u64,
+    root: Fr,
+    /// Pending left nodes per level, as in
+    /// [`super::IncrementalMerkleTree`].
+    frontier: Vec<Fr>,
+    /// Node index (at each level) that `frontier[l]` currently represents,
+    /// so deletions can refresh stale frontier entries.
+    frontier_index: Vec<Option<u64>>,
+    /// Our own membership: `(leaf_index, leaf_value, auth_path)`.
+    own: Option<OwnMembership>,
+}
+
+#[derive(Clone, Debug)]
+struct OwnMembership {
+    index: u64,
+    leaf: Fr,
+    path: Vec<Fr>,
+}
+
+impl SyncedPathTree {
+    /// Creates an empty light tree of the given depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MerkleError::UnsupportedDepth`] for invalid depths.
+    pub fn new(depth: usize) -> Result<SyncedPathTree, MerkleError> {
+        validate_depth(depth)?;
+        Ok(SyncedPathTree {
+            depth,
+            next_index: 0,
+            root: zero_hashes()[depth],
+            frontier: vec![Fr::ZERO; depth],
+            frontier_index: vec![None; depth],
+            own: None,
+        })
+    }
+
+    /// The tree depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Leaves appended so far.
+    pub fn len(&self) -> u64 {
+        self.next_index
+    }
+
+    /// `true` if no members have registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.next_index == 0
+    }
+
+    /// The current root (kept in lock-step with the network's full tree).
+    pub fn root(&self) -> Fr {
+        self.root
+    }
+
+    /// Our own leaf index, if registered.
+    pub fn own_index(&self) -> Option<u64> {
+        self.own.as_ref().map(|o| o.index)
+    }
+
+    /// Our own current authentication path, if registered.
+    pub fn own_proof(&self) -> Option<MerkleProof> {
+        self.own.as_ref().map(|o| MerkleProof {
+            index: o.index,
+            siblings: o.path.clone(),
+        })
+    }
+
+    /// Applies a remote member registration (append-only insert).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MerkleError::TreeFull`] at capacity.
+    pub fn apply_append(&mut self, leaf: Fr) -> Result<u64, MerkleError> {
+        self.append_inner(leaf, false)
+    }
+
+    /// Registers *ourselves*: appends our leaf and snapshots the
+    /// authentication path for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MerkleError::TreeFull`] at capacity.
+    pub fn register_own(&mut self, leaf: Fr) -> Result<u64, MerkleError> {
+        self.append_inner(leaf, true)
+    }
+
+    fn append_inner(&mut self, leaf: Fr, is_own: bool) -> Result<u64, MerkleError> {
+        if self.next_index >= (1u64 << self.depth) {
+            return Err(MerkleError::TreeFull);
+        }
+        let index = self.next_index;
+        let zeros = zero_hashes();
+
+        // When this append is our own, the auth path at insertion time is
+        // derived from the frontier (left siblings) and zero-subtrees
+        // (right siblings).
+        let mut own_path_snapshot = if is_own {
+            Some(Vec::with_capacity(self.depth))
+        } else {
+            None
+        };
+
+        let mut node = leaf;
+        let mut idx = index;
+        for l in 0..self.depth {
+            if let Some(path) = own_path_snapshot.as_mut() {
+                if idx & 1 == 0 {
+                    path.push(zeros[l]);
+                } else {
+                    path.push(self.frontier[l]);
+                }
+            }
+            // Keep an existing own-path in sync: if the node being
+            // recomputed at this level is the sibling of our own branch,
+            // refresh it.
+            if let Some(own) = self.own.as_mut() {
+                if idx == (own.index >> l) ^ 1 {
+                    own.path[l] = node;
+                }
+            }
+            if idx & 1 == 0 {
+                self.frontier[l] = node;
+                self.frontier_index[l] = Some(idx);
+                node = node_hash(node, zeros[l]);
+            } else {
+                node = node_hash(self.frontier[l], node);
+            }
+            idx >>= 1;
+        }
+        self.root = node;
+        self.next_index = index + 1;
+        if let Some(path) = own_path_snapshot {
+            self.own = Some(OwnMembership { index, leaf, path });
+        }
+        Ok(index)
+    }
+
+    /// Applies a remote member deletion (slashing sets the leaf to a new
+    /// value, normally [`super::EMPTY_LEAF`]), authenticated by the deleted
+    /// member's path as carried in the slashing event.
+    ///
+    /// # Errors
+    ///
+    /// * [`MerkleError::IndexOutOfRange`] — `index` beyond appended leaves.
+    /// * [`MerkleError::StaleWitness`] — the witness does not prove
+    ///   `old_leaf` at `index` under the current root (e.g. events applied
+    ///   out of order).
+    pub fn apply_update_with_witness(
+        &mut self,
+        index: u64,
+        old_leaf: Fr,
+        new_leaf: Fr,
+        witness: &MerkleProof,
+    ) -> Result<(), MerkleError> {
+        if index >= self.next_index {
+            return Err(MerkleError::IndexOutOfRange {
+                index,
+                capacity: self.next_index,
+            });
+        }
+        if witness.index != index
+            || witness.siblings.len() != self.depth
+            || !witness.verify(self.root, old_leaf)
+        {
+            return Err(MerkleError::StaleWitness);
+        }
+
+        let mut node = new_leaf;
+        let mut idx = index;
+        for l in 0..self.depth {
+            if let Some(own) = self.own.as_mut() {
+                if idx == (own.index >> l) ^ 1 {
+                    own.path[l] = node;
+                }
+            }
+            if self.frontier_index[l] == Some(idx) {
+                self.frontier[l] = node;
+            }
+            node = if idx & 1 == 0 {
+                node_hash(node, witness.siblings[l])
+            } else {
+                node_hash(witness.siblings[l], node)
+            };
+            idx >>= 1;
+        }
+        self.root = node;
+
+        if let Some(own) = self.own.as_mut() {
+            if own.index == index {
+                own.leaf = new_leaf;
+                if new_leaf == super::EMPTY_LEAF {
+                    // we were slashed: our membership is gone
+                    self.own = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of persistent hashes (frontier + own path + root) — the E3
+    /// storage figure for a light member.
+    pub fn stored_nodes(&self) -> usize {
+        self.frontier.len() + self.own.as_ref().map_or(0, |o| o.path.len()) + 1
+    }
+
+    /// Estimated resident bytes of the hash storage.
+    pub fn storage_bytes(&self) -> usize {
+        self.stored_nodes() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merkle::{FullMerkleTree, EMPTY_LEAF};
+    use proptest::prelude::*;
+
+    fn leaf(v: u64) -> Fr {
+        Fr::from_u64(v + 1000)
+    }
+
+    #[test]
+    fn tracks_root_through_appends() {
+        let mut light = SyncedPathTree::new(5).unwrap();
+        let mut full = FullMerkleTree::new(5).unwrap();
+        for v in 0..20u64 {
+            light.apply_append(leaf(v)).unwrap();
+            full.append(leaf(v)).unwrap();
+            assert_eq!(light.root(), full.root(), "after {v}");
+        }
+    }
+
+    #[test]
+    fn own_proof_stays_valid_as_others_join() {
+        let depth = 6;
+        let mut light = SyncedPathTree::new(depth).unwrap();
+        let mut full = FullMerkleTree::new(depth).unwrap();
+        // 5 earlier members
+        for v in 0..5u64 {
+            light.apply_append(leaf(v)).unwrap();
+            full.append(leaf(v)).unwrap();
+        }
+        let my = light.register_own(leaf(99)).unwrap();
+        full.append(leaf(99)).unwrap();
+        assert_eq!(my, 5);
+        // 30 later members
+        for v in 6..36u64 {
+            light.apply_append(leaf(v)).unwrap();
+            full.append(leaf(v)).unwrap();
+            let proof = light.own_proof().unwrap();
+            assert!(proof.verify(full.root(), leaf(99)), "after {v}");
+            assert_eq!(light.root(), full.root());
+            assert_eq!(proof, full.proof(my).unwrap());
+        }
+    }
+
+    #[test]
+    fn deletion_with_witness_updates_root_and_own_path() {
+        let depth = 5;
+        let mut light = SyncedPathTree::new(depth).unwrap();
+        let mut full = FullMerkleTree::new(depth).unwrap();
+        for v in 0..4u64 {
+            light.apply_append(leaf(v)).unwrap();
+            full.append(leaf(v)).unwrap();
+        }
+        light.register_own(leaf(50)).unwrap();
+        full.append(leaf(50)).unwrap();
+        for v in 5..10u64 {
+            light.apply_append(leaf(v)).unwrap();
+            full.append(leaf(v)).unwrap();
+        }
+        // member 2 gets slashed
+        let witness = full.proof(2).unwrap();
+        full.remove(2).unwrap();
+        light
+            .apply_update_with_witness(2, leaf(2), EMPTY_LEAF, &witness)
+            .unwrap();
+        assert_eq!(light.root(), full.root());
+        let proof = light.own_proof().unwrap();
+        assert!(proof.verify(full.root(), leaf(50)));
+    }
+
+    #[test]
+    fn stale_witness_rejected() {
+        let depth = 4;
+        let mut light = SyncedPathTree::new(depth).unwrap();
+        let mut full = FullMerkleTree::new(depth).unwrap();
+        for v in 0..4u64 {
+            light.apply_append(leaf(v)).unwrap();
+            full.append(leaf(v)).unwrap();
+        }
+        let witness = full.proof(1).unwrap();
+        // tamper: wrong old leaf
+        assert_eq!(
+            light.apply_update_with_witness(1, leaf(9), EMPTY_LEAF, &witness),
+            Err(MerkleError::StaleWitness)
+        );
+        // out-of-range index
+        assert!(matches!(
+            light.apply_update_with_witness(10, leaf(1), EMPTY_LEAF, &witness),
+            Err(MerkleError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn own_slashing_clears_membership() {
+        let depth = 4;
+        let mut light = SyncedPathTree::new(depth).unwrap();
+        let mut full = FullMerkleTree::new(depth).unwrap();
+        light.register_own(leaf(7)).unwrap();
+        full.append(leaf(7)).unwrap();
+        let witness = full.proof(0).unwrap();
+        full.remove(0).unwrap();
+        light
+            .apply_update_with_witness(0, leaf(7), EMPTY_LEAF, &witness)
+            .unwrap();
+        assert!(light.own_proof().is_none());
+        assert_eq!(light.root(), full.root());
+    }
+
+    #[test]
+    fn frontier_refreshed_by_deletion_keeps_future_appends_correct() {
+        // Regression shape: delete a leaf that is inside a pending frontier
+        // subtree, then append more members; roots must keep matching.
+        let depth = 4;
+        let mut light = SyncedPathTree::new(depth).unwrap();
+        let mut full = FullMerkleTree::new(depth).unwrap();
+        for v in 0..3u64 {
+            light.apply_append(leaf(v)).unwrap();
+            full.append(leaf(v)).unwrap();
+        }
+        // leaf 2 is a pending left node in the frontier at level 0
+        let witness = full.proof(2).unwrap();
+        full.remove(2).unwrap();
+        light
+            .apply_update_with_witness(2, leaf(2), EMPTY_LEAF, &witness)
+            .unwrap();
+        assert_eq!(light.root(), full.root());
+        for v in 3..8u64 {
+            light.apply_append(leaf(v)).unwrap();
+            full.append(leaf(v)).unwrap();
+            assert_eq!(light.root(), full.root(), "after append {v}");
+        }
+    }
+
+    #[test]
+    fn storage_is_small_at_depth_20() {
+        let mut t = SyncedPathTree::new(20).unwrap();
+        t.register_own(Fr::ONE).unwrap();
+        // 2 × 20 + 1 hashes ≈ 1.3 KB — vs ~67 MB for the full tree (E3)
+        assert!(t.storage_bytes() <= 2 * 1024);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random interleavings of appends and witness-backed deletions keep
+        /// the light tree's root and own-proof identical to the full tree.
+        #[test]
+        fn prop_light_matches_full_under_event_stream(
+            ops in proptest::collection::vec(any::<(bool, u64)>(), 1..40),
+            own_at in 0usize..5
+        ) {
+            let depth = 6;
+            let mut light = SyncedPathTree::new(depth).unwrap();
+            let mut full = FullMerkleTree::new(depth).unwrap();
+            let mut appended: Vec<(u64, Fr)> = Vec::new();
+            let mut own_leaf = None;
+            let mut counter = 0u64;
+
+            for (i, (is_delete, sel)) in ops.into_iter().enumerate() {
+                if is_delete && !appended.is_empty() {
+                    let pos = (sel as usize) % appended.len();
+                    let (idx, old) = appended[pos];
+                    if old == EMPTY_LEAF { continue; }
+                    let witness = full.proof(idx).unwrap();
+                    full.remove(idx).unwrap();
+                    light.apply_update_with_witness(idx, old, EMPTY_LEAF, &witness).unwrap();
+                    appended[pos].1 = EMPTY_LEAF;
+                    if own_leaf == Some(idx) { own_leaf = None; }
+                } else if full.next_index() < full.capacity() {
+                    counter += 1;
+                    let v = leaf(counter);
+                    if i == own_at && own_leaf.is_none() {
+                        let idx = light.register_own(v).unwrap();
+                        full.append(v).unwrap();
+                        own_leaf = Some(idx);
+                        appended.push((idx, v));
+                    } else {
+                        let idx = light.apply_append(v).unwrap();
+                        full.append(v).unwrap();
+                        appended.push((idx, v));
+                    }
+                }
+                prop_assert_eq!(light.root(), full.root());
+                if let Some(own_idx) = own_leaf {
+                    let proof = light.own_proof().unwrap();
+                    prop_assert_eq!(&proof, &full.proof(own_idx).unwrap());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! GossipSub protocol parameters (v1.1 defaults).
+
+/// Mesh and gossip parameters, following the libp2p GossipSub v1.1
+/// specification's defaults (the protocol the paper's §I cites as the
+/// routing layer and whose peer-scoring it critiques as a spam defence).
+#[derive(Clone, Copy, Debug)]
+pub struct GossipsubConfig {
+    /// Target mesh degree (`D`).
+    pub mesh_n: usize,
+    /// Lower bound on mesh degree (`D_lo`); grafts below it.
+    pub mesh_n_low: usize,
+    /// Upper bound on mesh degree (`D_hi`); prunes above it.
+    pub mesh_n_high: usize,
+    /// Number of peers IHAVE gossip is emitted to each heartbeat
+    /// (`D_lazy`).
+    pub gossip_lazy: usize,
+    /// Milliseconds between heartbeats.
+    pub heartbeat_ms: u64,
+    /// Message-cache history windows kept (`mcache_len`).
+    pub history_length: usize,
+    /// Number of most recent windows gossiped (`mcache_gossip`).
+    pub history_gossip: usize,
+    /// Seen-cache time-to-live, milliseconds.
+    pub seen_ttl_ms: u64,
+    /// Maximum IHAVE ids answered with IWANT per heartbeat per peer
+    /// (bounds the IWANT-flood attack surface).
+    pub max_iwant_per_heartbeat: usize,
+    /// Whether v1.1 peer scoring is active.
+    pub scoring_enabled: bool,
+}
+
+impl Default for GossipsubConfig {
+    fn default() -> GossipsubConfig {
+        GossipsubConfig {
+            mesh_n: 6,
+            mesh_n_low: 4,
+            mesh_n_high: 12,
+            gossip_lazy: 6,
+            heartbeat_ms: 1_000,
+            history_length: 5,
+            history_gossip: 3,
+            seen_ttl_ms: 120_000,
+            max_iwant_per_heartbeat: 64,
+            scoring_enabled: true,
+        }
+    }
+}
+
+impl GossipsubConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the degree bounds are inconsistent
+    /// (`D_lo ≤ D ≤ D_hi`), or history windows are inconsistent.
+    pub fn assert_valid(&self) {
+        assert!(self.mesh_n_low <= self.mesh_n, "D_lo must be <= D");
+        assert!(self.mesh_n <= self.mesh_n_high, "D must be <= D_hi");
+        assert!(
+            self.history_gossip <= self.history_length,
+            "gossip windows must fit in history"
+        );
+        assert!(self.heartbeat_ms > 0, "heartbeat must be positive");
+    }
+}
+
+/// Peer-scoring parameters (a pragmatic subset of the v1.1 score function:
+/// P1 time-in-mesh, P2 first deliveries, P4 invalid messages, plus decay
+/// and the standard acceptance thresholds).
+#[derive(Clone, Copy, Debug)]
+pub struct ScoringConfig {
+    /// Weight of time-in-mesh (per heartbeat in mesh), capped (P1).
+    pub time_in_mesh_weight: f64,
+    /// Cap on the time-in-mesh contribution.
+    pub time_in_mesh_cap: f64,
+    /// Weight of first message deliveries (P2).
+    pub first_delivery_weight: f64,
+    /// Cap on counted first deliveries.
+    pub first_delivery_cap: f64,
+    /// Weight of invalid messages; applied to the squared counter (P4,
+    /// negative contribution).
+    pub invalid_weight: f64,
+    /// Multiplicative decay applied to counters every heartbeat.
+    pub decay: f64,
+    /// Below this score a peer's gossip (IHAVE) is ignored.
+    pub gossip_threshold: f64,
+    /// Below this score we do not publish/forward to the peer.
+    pub publish_threshold: f64,
+    /// Below this score every RPC from the peer is ignored (graylist).
+    pub graylist_threshold: f64,
+    /// Peers with negative score are evicted from meshes at heartbeat.
+    pub mesh_eviction_threshold: f64,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> ScoringConfig {
+        ScoringConfig {
+            time_in_mesh_weight: 0.01,
+            time_in_mesh_cap: 3.0,
+            first_delivery_weight: 1.0,
+            first_delivery_cap: 100.0,
+            invalid_weight: -10.0,
+            decay: 0.9,
+            gossip_threshold: -10.0,
+            publish_threshold: -50.0,
+            graylist_threshold: -80.0,
+            mesh_eviction_threshold: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        GossipsubConfig::default().assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "D_lo must be <= D")]
+    fn inconsistent_degrees_panic() {
+        GossipsubConfig {
+            mesh_n_low: 10,
+            mesh_n: 6,
+            ..Default::default()
+        }
+        .assert_valid();
+    }
+
+    #[test]
+    fn default_thresholds_are_ordered() {
+        let s = ScoringConfig::default();
+        assert!(s.graylist_threshold < s.publish_threshold);
+        assert!(s.publish_threshold < s.gossip_threshold);
+        assert!(s.gossip_threshold < s.mesh_eviction_threshold);
+    }
+}

@@ -1,0 +1,28 @@
+//! # wakurln-gossipsub
+//!
+//! GossipSub v1.1 over the deterministic network simulator: mesh overlay
+//! maintenance, eager push + lazy IHAVE/IWANT gossip, a sliding-window
+//! message cache and v1.1 peer scoring.
+//!
+//! This is both the routing substrate of WAKU-RELAY / WAKU-RLN-RELAY and —
+//! with scoring as the *only* defence — the baseline spam-protection
+//! scheme the paper's §I critiques (experiment E6).
+//!
+//! * [`config`] — protocol and scoring parameters,
+//! * [`types`] — topics, message ids, RPC frames, the message cache,
+//! * [`score`] — the peer-score table,
+//! * [`node`] — the protocol state machine with the [`Validator`] hook
+//!   that WAKU-RLN-RELAY attaches its proof/epoch/nullifier checks to.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod node;
+pub mod score;
+pub mod types;
+
+pub use config::{GossipsubConfig, ScoringConfig};
+pub use node::{AcceptAll, Delivery, GossipsubNode, ValidationResult, Validator};
+pub use score::PeerScore;
+pub use types::{MessageCache, MessageId, RawMessage, Rpc, Topic};

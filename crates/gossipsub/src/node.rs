@@ -1,0 +1,655 @@
+//! The GossipSub protocol state machine.
+
+use crate::config::{GossipsubConfig, ScoringConfig};
+use crate::score::PeerScore;
+use crate::types::{MessageCache, MessageId, RawMessage, Rpc, Topic};
+use rand::seq::SliceRandom;
+use std::collections::{BTreeSet, HashMap};
+use wakurln_netsim::{Context, Node, NodeId};
+
+/// Heartbeat timer token.
+const TIMER_HEARTBEAT: u64 = 0;
+
+/// Application verdict on an incoming message, produced by a [`Validator`].
+///
+/// WAKU-RLN-RELAY plugs its proof/epoch/nullifier checks in through this
+/// hook (§III "Routing and Slashing": "A routing peer follows the regular
+/// routing protocol of WAKU-RELAY […] and additionally does the
+/// verification steps of the RLN framework").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValidationResult {
+    /// Deliver locally and forward to the mesh.
+    Accept,
+    /// Drop and penalize the forwarding peer (counts toward P4).
+    Reject,
+    /// Drop silently (e.g. out-of-window epoch from an honest but laggy
+    /// peer — invalid, but not necessarily malicious).
+    Ignore,
+}
+
+/// Message validation hook.
+pub trait Validator {
+    /// Judges a message before delivery/forwarding. `now_ms` is simulated
+    /// time; implementations may mutate internal state (nullifier maps…).
+    fn validate(&mut self, now_ms: u64, topic: &Topic, data: &[u8]) -> ValidationResult;
+
+    /// Simulated CPU cost of the validation just performed, in
+    /// microseconds (drives the E6/E9 relayer-overhead accounting).
+    fn last_cost_micros(&self) -> u64 {
+        0
+    }
+}
+
+/// Accepts everything at zero cost (plain WAKU-RELAY behaviour).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AcceptAll;
+
+impl Validator for AcceptAll {
+    fn validate(&mut self, _now_ms: u64, _topic: &Topic, _data: &[u8]) -> ValidationResult {
+        ValidationResult::Accept
+    }
+}
+
+/// A message delivered to the local application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delivery {
+    /// Content id.
+    pub id: MessageId,
+    /// Topic it arrived on.
+    pub topic: Topic,
+    /// Payload.
+    pub data: Vec<u8>,
+    /// Simulated arrival time (ms).
+    pub at_ms: u64,
+}
+
+/// A GossipSub v1.1 peer with a pluggable validator.
+///
+/// # Examples
+///
+/// See the crate-level docs for a complete small-network example; unit
+/// tests in this module exercise mesh formation, gossip recovery and
+/// score-based defenses.
+pub struct GossipsubNode<V: Validator> {
+    config: GossipsubConfig,
+    /// Peers we can open connections to (bootstrap set).
+    known_peers: Vec<NodeId>,
+    /// Topics we subscribe to.
+    subscriptions: BTreeSet<Topic>,
+    /// Which known peer subscribes to what (learned from Subscribe RPCs).
+    peer_topics: HashMap<Topic, BTreeSet<NodeId>>,
+    /// Our mesh per topic.
+    mesh: HashMap<Topic, BTreeSet<NodeId>>,
+    mcache: MessageCache,
+    /// Message id → first-seen time (ms).
+    seen: HashMap<MessageId, u64>,
+    score: PeerScore,
+    validator: V,
+    delivered: Vec<Delivery>,
+    /// IWANTs already spent per peer this heartbeat.
+    iwant_spent: HashMap<NodeId, usize>,
+}
+
+impl<V: Validator> GossipsubNode<V> {
+    /// Creates a node with the given bootstrap peers and validator.
+    pub fn new(
+        config: GossipsubConfig,
+        scoring: ScoringConfig,
+        known_peers: Vec<NodeId>,
+        validator: V,
+    ) -> GossipsubNode<V> {
+        config.assert_valid();
+        GossipsubNode {
+            mcache: MessageCache::new(config.history_length),
+            config,
+            known_peers,
+            subscriptions: BTreeSet::new(),
+            peer_topics: HashMap::new(),
+            mesh: HashMap::new(),
+            seen: HashMap::new(),
+            score: PeerScore::new(scoring),
+            validator,
+            delivered: Vec::new(),
+            iwant_spent: HashMap::new(),
+        }
+    }
+
+    /// Subscribes to a topic (call before the simulation starts, or use
+    /// [`GossipsubNode::subscribe_live`] from an invoke context).
+    pub fn subscribe(&mut self, topic: Topic) {
+        self.subscriptions.insert(topic.clone());
+        self.mesh.entry(topic).or_default();
+    }
+
+    /// Subscribes at runtime, announcing to all known peers.
+    pub fn subscribe_live(&mut self, ctx: &mut Context<'_, Rpc>, topic: Topic) {
+        self.subscribe(topic.clone());
+        for peer in self.known_peers.clone() {
+            ctx.send(peer, Rpc::Subscribe(topic.clone()));
+        }
+    }
+
+    /// Publishes a message to a topic: eager-push to the mesh (or to known
+    /// topic peers while the mesh is still forming).
+    pub fn publish(&mut self, ctx: &mut Context<'_, Rpc>, topic: Topic, data: Vec<u8>) -> MessageId {
+        let msg = RawMessage { topic: topic.clone(), data };
+        let id = msg.id();
+        self.seen.insert(id, ctx.now());
+        self.mcache.put(msg.clone());
+        ctx.count("published", 1);
+        let targets = self.eager_targets(&topic, None);
+        for peer in targets {
+            ctx.send(peer, Rpc::Forward(msg.clone()));
+        }
+        id
+    }
+
+    /// Messages delivered to the application so far.
+    pub fn delivered(&self) -> &[Delivery] {
+        &self.delivered
+    }
+
+    /// Drains the delivered-message buffer.
+    pub fn take_delivered(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Current mesh for a topic (test/diagnostic access).
+    pub fn mesh_peers(&self, topic: &Topic) -> Vec<NodeId> {
+        self.mesh
+            .get(topic)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The peer-score table (diagnostics; baselines read attacker scores).
+    pub fn peer_score(&self) -> &PeerScore {
+        &self.score
+    }
+
+    /// The validator (e.g. to read RLN spam-detection state).
+    pub fn validator(&self) -> &V {
+        &self.validator
+    }
+
+    /// Mutable validator access.
+    pub fn validator_mut(&mut self) -> &mut V {
+        &mut self.validator
+    }
+
+    /// Whether this id has been seen (published or received).
+    pub fn has_seen(&self, id: &MessageId) -> bool {
+        self.seen.contains_key(id)
+    }
+
+    fn eager_targets(&self, topic: &Topic, exclude: Option<NodeId>) -> Vec<NodeId> {
+        let mesh = self.mesh.get(topic);
+        let candidates: Vec<NodeId> = match mesh {
+            Some(m) if !m.is_empty() => m.iter().copied().collect(),
+            _ => {
+                // mesh not yet formed: fall back to known subscribers
+                self.peer_topics
+                    .get(topic)
+                    .map(|s| s.iter().copied().take(self.config.mesh_n).collect())
+                    .unwrap_or_default()
+            }
+        };
+        candidates
+            .into_iter()
+            .filter(|p| Some(*p) != exclude)
+            .filter(|p| !self.config.scoring_enabled || self.score.accepts_publish(*p))
+            .collect()
+    }
+
+    fn handle_forward(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: RawMessage) {
+        let id = msg.id();
+        if self.seen.contains_key(&id) {
+            ctx.count("duplicates", 1);
+            return;
+        }
+        self.seen.insert(id, ctx.now());
+
+        let verdict = self.validator.validate(ctx.now(), &msg.topic, &msg.data);
+        ctx.charge_cpu(self.validator.last_cost_micros());
+        match verdict {
+            ValidationResult::Reject => {
+                if self.config.scoring_enabled {
+                    self.score.record_invalid(from);
+                }
+                ctx.count("rejected", 1);
+                return;
+            }
+            ValidationResult::Ignore => {
+                ctx.count("ignored", 1);
+                return;
+            }
+            ValidationResult::Accept => {}
+        }
+
+        if self.config.scoring_enabled {
+            self.score.record_first_delivery(from);
+        }
+        if self.subscriptions.contains(&msg.topic) {
+            self.delivered.push(Delivery {
+                id,
+                topic: msg.topic.clone(),
+                data: msg.data.clone(),
+                at_ms: ctx.now(),
+            });
+            ctx.count("delivered_app", 1);
+        }
+        self.mcache.put(msg.clone());
+        for peer in self.eager_targets(&msg.topic, Some(from)) {
+            ctx.send(peer, Rpc::Forward(msg.clone()));
+        }
+    }
+
+    fn handle_ihave(
+        &mut self,
+        ctx: &mut Context<'_, Rpc>,
+        from: NodeId,
+        _topic: Topic,
+        ids: Vec<MessageId>,
+    ) {
+        if self.config.scoring_enabled && !self.score.accepts_gossip(from) {
+            ctx.count("ihave_ignored_low_score", 1);
+            return;
+        }
+        let spent = self.iwant_spent.entry(from).or_insert(0);
+        let budget = self.config.max_iwant_per_heartbeat.saturating_sub(*spent);
+        let wanted: Vec<MessageId> = ids
+            .into_iter()
+            .filter(|id| !self.seen.contains_key(id))
+            .take(budget)
+            .collect();
+        if wanted.is_empty() {
+            return;
+        }
+        *self.iwant_spent.get_mut(&from).expect("just inserted") += wanted.len();
+        ctx.count("iwant_sent", wanted.len() as u64);
+        ctx.send(from, Rpc::IWant { ids: wanted });
+    }
+
+    fn handle_iwant(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, ids: Vec<MessageId>) {
+        for id in ids.into_iter().take(self.config.max_iwant_per_heartbeat) {
+            if let Some(msg) = self.mcache.get(&id) {
+                ctx.send(from, Rpc::Forward(msg.clone()));
+            }
+        }
+    }
+
+    fn handle_graft(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, topic: Topic) {
+        let subscribed = self.subscriptions.contains(&topic);
+        let acceptable = !self.config.scoring_enabled || !self.score.should_evict(from);
+        if subscribed && acceptable {
+            self.mesh.entry(topic).or_default().insert(from);
+            self.score.set_in_mesh(from, true);
+        } else {
+            ctx.send(from, Rpc::Prune(topic));
+        }
+    }
+
+    fn handle_prune(&mut self, from: NodeId, topic: Topic) {
+        if let Some(mesh) = self.mesh.get_mut(&topic) {
+            mesh.remove(&from);
+        }
+        let still_meshed = self.mesh.values().any(|m| m.contains(&from));
+        self.score.set_in_mesh(from, still_meshed);
+    }
+
+    fn heartbeat(&mut self, ctx: &mut Context<'_, Rpc>) {
+        if self.config.scoring_enabled {
+            self.score.heartbeat();
+        }
+        self.iwant_spent.clear();
+
+        for topic in self.subscriptions.clone() {
+            let mesh = self.mesh.entry(topic.clone()).or_default();
+
+            // evict misbehaving peers
+            if self.config.scoring_enabled {
+                let evict: Vec<NodeId> = mesh
+                    .iter()
+                    .copied()
+                    .filter(|p| self.score.should_evict(*p))
+                    .collect();
+                for peer in evict {
+                    mesh.remove(&peer);
+                    ctx.send(peer, Rpc::Prune(topic.clone()));
+                    self.score.set_in_mesh(peer, false);
+                    ctx.count("mesh_evictions", 1);
+                }
+            }
+
+            // graft up to D when below D_lo
+            if mesh.len() < self.config.mesh_n_low {
+                let need = self.config.mesh_n - mesh.len();
+                let mut candidates: Vec<NodeId> = self
+                    .peer_topics
+                    .get(&topic)
+                    .map(|s| {
+                        s.iter()
+                            .copied()
+                            .filter(|p| !mesh.contains(p))
+                            .filter(|p| {
+                                !self.config.scoring_enabled || !self.score.should_evict(*p)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                candidates.shuffle(ctx.rng());
+                for peer in candidates.into_iter().take(need) {
+                    mesh.insert(peer);
+                    self.score.set_in_mesh(peer, true);
+                    ctx.send(peer, Rpc::Graft(topic.clone()));
+                }
+            }
+
+            // prune down to D when above D_hi
+            if mesh.len() > self.config.mesh_n_high {
+                let mut members: Vec<NodeId> = mesh.iter().copied().collect();
+                // keep the best-scoring peers
+                members.sort_by(|a, b| {
+                    self.score
+                        .score(*b)
+                        .partial_cmp(&self.score.score(*a))
+                        .expect("scores are finite")
+                });
+                for peer in members.into_iter().skip(self.config.mesh_n) {
+                    mesh.remove(&peer);
+                    ctx.send(peer, Rpc::Prune(topic.clone()));
+                    self.score.set_in_mesh(peer, false);
+                }
+            }
+
+            // lazy gossip: IHAVE to non-mesh peers
+            let ids = self.mcache.gossip_ids(&topic, self.config.history_gossip);
+            if !ids.is_empty() {
+                let mesh_snapshot = self.mesh.get(&topic).cloned().unwrap_or_default();
+                let mut candidates: Vec<NodeId> = self
+                    .peer_topics
+                    .get(&topic)
+                    .map(|s| {
+                        s.iter()
+                            .copied()
+                            .filter(|p| !mesh_snapshot.contains(p))
+                            .filter(|p| {
+                                !self.config.scoring_enabled || self.score.accepts_gossip(*p)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                candidates.shuffle(ctx.rng());
+                for peer in candidates.into_iter().take(self.config.gossip_lazy) {
+                    ctx.send(
+                        peer,
+                        Rpc::IHave {
+                            topic: topic.clone(),
+                            ids: ids.clone(),
+                        },
+                    );
+                }
+            }
+        }
+
+        self.mcache.shift();
+        let ttl = self.config.seen_ttl_ms;
+        let now = ctx.now();
+        self.seen.retain(|_, t| now.saturating_sub(*t) < ttl);
+        ctx.set_timer(self.config.heartbeat_ms, TIMER_HEARTBEAT);
+    }
+}
+
+impl<V: Validator> Node for GossipsubNode<V> {
+    type Message = Rpc;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Rpc>) {
+        for topic in self.subscriptions.clone() {
+            for peer in self.known_peers.clone() {
+                ctx.send(peer, Rpc::Subscribe(topic.clone()));
+            }
+        }
+        // desynchronize heartbeats across the network
+        let jitter = {
+            use rand::Rng;
+            ctx.rng().gen_range(0..self.config.heartbeat_ms)
+        };
+        ctx.set_timer(self.config.heartbeat_ms + jitter, TIMER_HEARTBEAT);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: Rpc) {
+        if self.config.scoring_enabled && self.score.graylisted(from) {
+            ctx.count("rpc_graylisted", 1);
+            return;
+        }
+        match msg {
+            Rpc::Subscribe(topic) => {
+                let newly_learned = self
+                    .peer_topics
+                    .entry(topic.clone())
+                    .or_default()
+                    .insert(from);
+                // Subscription exchange (as on libp2p connection setup):
+                // announce our own interest back to a newly seen peer so
+                // late joiners discover established subscribers. The
+                // `newly_learned` guard terminates the exchange.
+                if newly_learned && self.subscriptions.contains(&topic) {
+                    ctx.send(from, Rpc::Subscribe(topic));
+                }
+            }
+            Rpc::Unsubscribe(topic) => {
+                if let Some(s) = self.peer_topics.get_mut(&topic) {
+                    s.remove(&from);
+                }
+                self.handle_prune(from, topic);
+            }
+            Rpc::Forward(raw) => self.handle_forward(ctx, from, raw),
+            Rpc::IHave { topic, ids } => self.handle_ihave(ctx, from, topic, ids),
+            Rpc::IWant { ids } => self.handle_iwant(ctx, from, ids),
+            Rpc::Graft(topic) => self.handle_graft(ctx, from, topic),
+            Rpc::Prune(topic) => self.handle_prune(from, topic),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Rpc>, token: u64) {
+        if token == TIMER_HEARTBEAT {
+            self.heartbeat(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wakurln_netsim::{topology, ConstantLatency, Network, UniformLatency};
+
+    type Net = Network<GossipsubNode<AcceptAll>>;
+
+    fn build_network(n: usize, seed: u64) -> Net {
+        let topic = Topic::new("test");
+        let adjacency = topology::random_regular(n, 6, seed);
+        let mut net: Net = Network::new(UniformLatency { min_ms: 10, max_ms: 50 }, seed);
+        for peers in adjacency {
+            let mut node = GossipsubNode::new(
+                GossipsubConfig::default(),
+                ScoringConfig::default(),
+                peers,
+                AcceptAll,
+            );
+            node.subscribe(topic.clone());
+            net.add_node(node);
+        }
+        net
+    }
+
+    #[test]
+    fn meshes_form_within_degree_bounds() {
+        let mut net = build_network(30, 1);
+        net.run_until(10_000);
+        let topic = Topic::new("test");
+        let cfg = GossipsubConfig::default();
+        for i in 0..30 {
+            let mesh = net.node(NodeId(i)).mesh_peers(&topic);
+            assert!(
+                !mesh.is_empty(),
+                "node {i} has an empty mesh after formation"
+            );
+            assert!(mesh.len() <= cfg.mesh_n_high + cfg.mesh_n, "node {i} oversized");
+        }
+    }
+
+    #[test]
+    fn publish_reaches_all_subscribers() {
+        let mut net = build_network(40, 2);
+        net.run_until(10_000); // mesh formation
+        let topic = Topic::new("test");
+        net.invoke(NodeId(0), |node, ctx| {
+            node.publish(ctx, Topic::new("test"), b"hello network".to_vec())
+        });
+        net.run_until(30_000);
+        let mut received = 0;
+        for i in 1..40 {
+            if net
+                .node(NodeId(i))
+                .delivered()
+                .iter()
+                .any(|d| d.topic == topic && d.data == b"hello network")
+            {
+                received += 1;
+            }
+        }
+        assert!(received >= 38, "only {received}/39 subscribers got the message");
+    }
+
+    #[test]
+    fn gossip_recovers_from_packet_loss() {
+        let mut net = build_network(30, 3);
+        net.run_until(10_000);
+        net.set_loss_probability(0.20);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.publish(ctx, Topic::new("test"), b"lossy".to_vec())
+        });
+        // several heartbeats give IHAVE/IWANT time to fill gaps
+        net.run_until(40_000);
+        let received = (1..30)
+            .filter(|i| {
+                net.node(NodeId(*i))
+                    .delivered()
+                    .iter()
+                    .any(|d| d.data == b"lossy")
+            })
+            .count();
+        assert!(received >= 27, "only {received}/29 after gossip recovery");
+    }
+
+    #[test]
+    fn duplicate_suppression_counts() {
+        let mut net = build_network(20, 4);
+        net.run_until(10_000);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.publish(ctx, Topic::new("test"), b"dup".to_vec())
+        });
+        net.run_until(20_000);
+        // dense meshes guarantee duplicates; the seen-cache must absorb them
+        assert!(net.metrics().counter("duplicates") > 0);
+        for i in 0..20 {
+            let count = net
+                .node(NodeId(i))
+                .delivered()
+                .iter()
+                .filter(|d| d.data == b"dup")
+                .count();
+            assert!(count <= 1, "node {i} delivered the message {count} times");
+        }
+    }
+
+    /// A validator that rejects every payload starting with `0xBA`.
+    struct RejectBad;
+    impl Validator for RejectBad {
+        fn validate(&mut self, _: u64, _: &Topic, data: &[u8]) -> ValidationResult {
+            if data.first() == Some(&0xBA) {
+                ValidationResult::Reject
+            } else {
+                ValidationResult::Accept
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_messages_do_not_propagate_and_sink_scores() {
+        let topic = Topic::new("test");
+        let adjacency = topology::full_mesh(6);
+        let mut net: Network<GossipsubNode<RejectBad>> =
+            Network::new(ConstantLatency(10), 5);
+        for peers in adjacency {
+            let mut node = GossipsubNode::new(
+                GossipsubConfig::default(),
+                ScoringConfig::default(),
+                peers,
+                RejectBad,
+            );
+            node.subscribe(topic.clone());
+            net.add_node(node);
+        }
+        net.run_until(5_000);
+        // node 0 spams invalid payloads
+        for k in 0..8u8 {
+            net.invoke(NodeId(0), |node, ctx| {
+                node.publish(ctx, Topic::new("test"), vec![0xBA, k])
+            });
+        }
+        net.run_until(8_000);
+        // nothing delivered anywhere
+        for i in 1..6 {
+            assert!(net.node(NodeId(i)).delivered().is_empty());
+        }
+        assert!(net.metrics().counter("rejected") > 0);
+        // direct receivers now grade node 0 negatively
+        let punished = (1..6)
+            .filter(|i| net.node(NodeId(*i)).peer_score().score(NodeId(0)) < 0.0)
+            .count();
+        assert!(punished >= 1, "no peer punished the spammer");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = build_network(15, seed);
+            net.run_until(8_000);
+            net.invoke(NodeId(0), |node, ctx| {
+                node.publish(ctx, Topic::new("test"), b"det".to_vec())
+            });
+            net.run_until(20_000);
+            (1..15)
+                .map(|i| {
+                    net.node(NodeId(i))
+                        .delivered()
+                        .iter()
+                        .map(|d| d.at_ms)
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn publish_before_mesh_formation_uses_known_subscribers() {
+        let mut net = build_network(10, 6);
+        // give Subscribe RPCs (but not heartbeats) time to land
+        net.run_until(300);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.publish(ctx, Topic::new("test"), b"early".to_vec())
+        });
+        net.run_until(15_000);
+        let received = (1..10)
+            .filter(|i| {
+                net.node(NodeId(*i))
+                    .delivered()
+                    .iter()
+                    .any(|d| d.data == b"early")
+            })
+            .count();
+        assert!(received >= 8, "early publish reached only {received}/9");
+    }
+}

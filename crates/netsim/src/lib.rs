@@ -1,0 +1,24 @@
+//! # wakurln-netsim
+//!
+//! A deterministic discrete-event network simulator: the substrate on
+//! which the reproduction's GossipSub / WAKU-RELAY / WAKU-RLN-RELAY
+//! protocols run, replacing the authors' live libp2p deployment with a
+//! reproducible environment (DESIGN.md §2).
+//!
+//! * [`sim`] — event queue, nodes, contexts, deterministic execution,
+//! * [`latency`] — link latency and loss models (and the network-delay
+//!   bound `D` that sizes the protocol's epoch threshold `Thr = D/T`),
+//! * [`topology`] — bootstrap peer-set generators,
+//! * [`metrics`] — counters, per-node accounting, latency series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod metrics;
+pub mod sim;
+pub mod topology;
+
+pub use latency::{ConstantLatency, InternetLatency, LatencyModel, UniformLatency};
+pub use metrics::Metrics;
+pub use sim::{Context, Network, Node, NodeId, Payload};

@@ -1,0 +1,136 @@
+//! Simulation metrics: counters, per-node accounting and value series.
+
+use std::collections::HashMap;
+
+/// Aggregated measurements collected during a simulation run.
+///
+/// Protocols write into this through
+/// [`Context`](crate::sim::Context) helpers; experiment harnesses read the
+/// totals after [`Network::run_until`](crate::sim::Network::run_until).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: HashMap<String, u64>,
+    values: HashMap<String, Vec<f64>>,
+    per_node: HashMap<(usize, String), u64>,
+}
+
+impl Metrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `n` to the global counter `key`.
+    pub fn count(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_string()).or_default() += n;
+    }
+
+    /// Adds `n` to a per-node counter.
+    pub fn count_node(&mut self, node: usize, key: &str, n: u64) {
+        *self.per_node.entry((node, key.to_string())).or_default() += n;
+    }
+
+    /// Records a sample into the value series `key`.
+    pub fn record(&mut self, key: &str, value: f64) {
+        self.values.entry(key.to_string()).or_default().push(value);
+    }
+
+    /// Reads a global counter (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Reads a per-node counter (0 when absent).
+    pub fn node_counter(&self, node: usize, key: &str) -> u64 {
+        self.per_node
+            .get(&(node, key.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sums a per-node counter over all nodes.
+    pub fn node_counter_total(&self, key: &str) -> u64 {
+        self.per_node
+            .iter()
+            .filter(|((_, k), _)| k == key)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// The raw samples of a series (empty slice when absent).
+    pub fn samples(&self, key: &str) -> &[f64] {
+        self.values.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Arithmetic mean of a series, `None` when empty.
+    pub fn mean(&self, key: &str) -> Option<f64> {
+        let s = self.samples(key);
+        if s.is_empty() {
+            None
+        } else {
+            Some(s.iter().sum::<f64>() / s.len() as f64)
+        }
+    }
+
+    /// The `p`-th percentile (0.0–1.0) of a series, `None` when empty.
+    pub fn percentile(&self, key: &str, p: f64) -> Option<f64> {
+        let mut s = self.samples(key).to_vec();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((s.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        Some(s[rank])
+    }
+
+    /// Maximum of a series, `None` when empty.
+    pub fn max(&self, key: &str) -> Option<f64> {
+        self.samples(key)
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Names of all counters (for report printing).
+    pub fn counter_keys(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.count("delivered", 3);
+        m.count("delivered", 2);
+        assert_eq!(m.counter("delivered"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn per_node_counters_are_separate() {
+        let mut m = Metrics::new();
+        m.count_node(0, "cpu", 10);
+        m.count_node(1, "cpu", 20);
+        assert_eq!(m.node_counter(0, "cpu"), 10);
+        assert_eq!(m.node_counter(1, "cpu"), 20);
+        assert_eq!(m.node_counter_total("cpu"), 30);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let mut m = Metrics::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            m.record("latency", v);
+        }
+        assert_eq!(m.mean("latency"), Some(3.0));
+        assert_eq!(m.percentile("latency", 0.0), Some(1.0));
+        assert_eq!(m.percentile("latency", 1.0), Some(5.0));
+        assert_eq!(m.percentile("latency", 0.5), Some(3.0));
+        assert_eq!(m.max("latency"), Some(5.0));
+        assert_eq!(m.mean("nope"), None);
+    }
+}

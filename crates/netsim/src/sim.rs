@@ -1,0 +1,554 @@
+//! The discrete-event simulator core.
+//!
+//! A [`Network`] owns a set of protocol state machines (one per simulated
+//! peer), a global event queue ordered by simulated time, a latency/loss
+//! model and the run's [`Metrics`]. Execution is fully deterministic for a
+//! given seed: ties in the queue are broken by insertion sequence, and all
+//! randomness flows through one seeded RNG.
+
+use crate::latency::LatencyModel;
+use crate::metrics::Metrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a simulated peer (index into the network's node table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+/// Wire-size accounting for protocol messages (drives the bandwidth
+/// counters).
+pub trait Payload: Clone {
+    /// Approximate serialized size in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+impl Payload for Vec<u8> {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A protocol state machine driven by the simulator.
+pub trait Node {
+    /// The message type exchanged between peers.
+    type Message: Payload;
+
+    /// Called once when the simulation starts (schedule initial timers
+    /// here).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Message>, from: NodeId, msg: Self::Message);
+
+    /// Called when a timer set with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Message>, token: u64);
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { token: u64 },
+    Start,
+}
+
+struct QueuedEvent<M> {
+    at: u64,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so earliest (at, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+enum Effect<M> {
+    Send { to: NodeId, msg: M },
+    Timer { delay_ms: u64, token: u64 },
+}
+
+/// The per-callback execution context handed to protocol code.
+///
+/// Collects side effects (sends, timers) that the simulator applies after
+/// the callback returns, and exposes the clock, the RNG and the metrics.
+pub struct Context<'a, M> {
+    now: u64,
+    node: NodeId,
+    effects: Vec<Effect<M>>,
+    rng: &'a mut StdRng,
+    metrics: &'a mut Metrics,
+}
+
+impl<'a, M: Payload> Context<'a, M> {
+    /// Current simulated time in milliseconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The node this callback runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `msg` to `to`; it arrives after a sampled link latency
+    /// (unless dropped by the loss model).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Schedules [`Node::on_timer`] with `token` after `delay_ms`.
+    pub fn set_timer(&mut self, delay_ms: u64, token: u64) {
+        self.effects.push(Effect::Timer { delay_ms, token });
+    }
+
+    /// Deterministic RNG for protocol decisions.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Adds to a global counter.
+    pub fn count(&mut self, key: &str, n: u64) {
+        self.metrics.count(key, n);
+    }
+
+    /// Adds to this node's counter.
+    pub fn count_self(&mut self, key: &str, n: u64) {
+        self.metrics.count_node(self.node.0, key, n);
+    }
+
+    /// Records a sample into a series.
+    pub fn record(&mut self, key: &str, value: f64) {
+        self.metrics.record(key, value);
+    }
+
+    /// Charges simulated CPU time (microseconds) to this node — the
+    /// resource-restricted-device accounting used by E6/E9.
+    pub fn charge_cpu(&mut self, micros: u64) {
+        self.metrics.count_node(self.node.0, "cpu_micros", micros);
+    }
+}
+
+/// The deterministic discrete-event network.
+///
+/// # Examples
+///
+/// ```
+/// use wakurln_netsim::{latency::ConstantLatency, sim::{Context, Network, Node, NodeId}};
+///
+/// struct Echo;
+/// impl Node for Echo {
+///     type Message = Vec<u8>;
+///     fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+///         if ctx.node_id() == NodeId(0) {
+///             ctx.send(NodeId(1), b"ping".to_vec());
+///         }
+///     }
+///     fn on_message(&mut self, ctx: &mut Context<'_, Vec<u8>>, from: NodeId, msg: Vec<u8>) {
+///         if msg == b"ping" { ctx.send(from, b"pong".to_vec()); }
+///         else { ctx.count("pong", 1); }
+///     }
+///     fn on_timer(&mut self, _: &mut Context<'_, Vec<u8>>, _: u64) {}
+/// }
+///
+/// let mut net = Network::new(ConstantLatency(10), 42);
+/// net.add_node(Echo);
+/// net.add_node(Echo);
+/// net.run_until(100);
+/// assert_eq!(net.metrics().counter("pong"), 1);
+/// ```
+pub struct Network<N: Node> {
+    nodes: Vec<N>,
+    queue: BinaryHeap<QueuedEvent<N::Message>>,
+    latency: Box<dyn LatencyModel>,
+    loss_probability: f64,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    started: bool,
+    metrics: Metrics,
+}
+
+impl<N: Node> Network<N> {
+    /// Creates a network with the given latency model and RNG seed.
+    pub fn new<L: LatencyModel + 'static>(latency: L, seed: u64) -> Network<N> {
+        Network {
+            nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            latency: Box::new(latency),
+            loss_probability: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            now: 0,
+            seq: 0,
+            started: false,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Sets an i.i.d. packet-loss probability applied to every send.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.loss_probability = p;
+    }
+
+    /// Upper bound on link delay, exposed for protocol parameterization
+    /// (`Thr = D / T`).
+    pub fn max_delay_ms(&self) -> u64 {
+        self.latency.max_delay_ms()
+    }
+
+    /// Adds a node, returning its id. Nodes added after the run started
+    /// get their `on_start` immediately (churn support).
+    pub fn add_node(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        if self.started {
+            let seq = self.next_seq();
+            self.push(QueuedEvent {
+                at: self.now,
+                seq,
+                node: id,
+                kind: EventKind::Start,
+            });
+        }
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no nodes were added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node's protocol state (for external inspection
+    /// or reconfiguration between runs — effects are not collected here;
+    /// use [`Network::invoke`] for actions that need a context).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.0]
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics (experiment harnesses may record their own series).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Runs an external action against one node *now*, with a full effect
+    /// context (e.g. "publish a message at t=5000").
+    pub fn invoke<R>(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Context<'_, N::Message>) -> R) -> R {
+        self.ensure_started();
+        let mut ctx = Context {
+            now: self.now,
+            node: id,
+            effects: Vec::new(),
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+        };
+        let out = f(&mut self.nodes[id.0], &mut ctx);
+        let effects = ctx.effects;
+        self.apply_effects(id, effects);
+        out
+    }
+
+    /// Processes events until simulated time `t` (inclusive). Events
+    /// scheduled beyond `t` stay queued; the clock ends at `t`.
+    pub fn run_until(&mut self, t: u64) {
+        self.ensure_started();
+        while let Some(head) = self.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked");
+            self.now = event.at;
+            self.dispatch(event);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs until the event queue is empty (or `hard_stop` is reached).
+    pub fn run_to_quiescence(&mut self, hard_stop: u64) {
+        self.ensure_started();
+        while let Some(head) = self.queue.peek() {
+            if head.at > hard_stop {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked");
+            self.now = event.at;
+            self.dispatch(event);
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                let ev = QueuedEvent {
+                    at: self.now,
+                    seq: self.next_seq(),
+                    node: NodeId(i),
+                    kind: EventKind::Start,
+                };
+                self.push(ev);
+            }
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn push(&mut self, ev: QueuedEvent<N::Message>) {
+        self.queue.push(ev);
+    }
+
+    fn dispatch(&mut self, event: QueuedEvent<N::Message>) {
+        let id = event.node;
+        let mut ctx = Context {
+            now: self.now,
+            node: id,
+            effects: Vec::new(),
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+        };
+        match event.kind {
+            EventKind::Start => self.nodes[id.0].on_start(&mut ctx),
+            EventKind::Deliver { from, msg } => {
+                ctx.metrics.count("messages_delivered", 1);
+                self.nodes[id.0].on_message(&mut ctx, from, msg)
+            }
+            EventKind::Timer { token } => self.nodes[id.0].on_timer(&mut ctx, token),
+        }
+        let effects = ctx.effects;
+        self.apply_effects(id, effects);
+    }
+
+    fn apply_effects(&mut self, origin: NodeId, effects: Vec<Effect<N::Message>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    if to.0 >= self.nodes.len() {
+                        self.metrics.count("messages_to_unknown_peer", 1);
+                        continue;
+                    }
+                    self.metrics.count("messages_sent", 1);
+                    self.metrics
+                        .count("bytes_sent", msg.size_bytes() as u64);
+                    if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
+                        self.metrics.count("messages_lost", 1);
+                        continue;
+                    }
+                    let latency = self.latency.sample(&mut self.rng, origin, to);
+                    let ev = QueuedEvent {
+                        at: self.now + latency,
+                        seq: self.next_seq(),
+                        node: to,
+                        kind: EventKind::Deliver { from: origin, msg },
+                    };
+                    self.push(ev);
+                }
+                Effect::Timer { delay_ms, token } => {
+                    let ev = QueuedEvent {
+                        at: self.now + delay_ms,
+                        seq: self.next_seq(),
+                        node: origin,
+                        kind: EventKind::Timer { token },
+                    };
+                    self.push(ev);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{ConstantLatency, UniformLatency};
+
+    /// Counts everything it receives; optionally rebroadcasts once.
+    struct Flood {
+        neighbors: Vec<NodeId>,
+        seen: bool,
+        received_at: Option<u64>,
+    }
+
+    impl Node for Flood {
+        type Message = Vec<u8>;
+        fn on_start(&mut self, _ctx: &mut Context<'_, Vec<u8>>) {}
+        fn on_message(&mut self, ctx: &mut Context<'_, Vec<u8>>, _from: NodeId, msg: Vec<u8>) {
+            if !self.seen {
+                self.seen = true;
+                self.received_at = Some(ctx.now());
+                for n in self.neighbors.clone() {
+                    ctx.send(n, msg.clone());
+                }
+            }
+        }
+        fn on_timer(&mut self, _: &mut Context<'_, Vec<u8>>, _: u64) {}
+    }
+
+    fn ring(n: usize) -> Network<Flood> {
+        let mut net = Network::new(ConstantLatency(10), 1);
+        for i in 0..n {
+            net.add_node(Flood {
+                neighbors: vec![NodeId((i + 1) % n), NodeId((i + n - 1) % n)],
+                seen: false,
+                received_at: None,
+            });
+        }
+        net
+    }
+
+    #[test]
+    fn flood_covers_ring_with_expected_latency() {
+        let mut net = ring(10);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.seen = true;
+            node.received_at = Some(0);
+            for n in node.neighbors.clone() {
+                ctx.send(n, b"m".to_vec());
+            }
+        });
+        net.run_until(1_000);
+        for i in 0..10 {
+            assert!(net.node(NodeId(i)).seen, "node {i} missed the flood");
+        }
+        // farthest node in a 10-ring is 5 hops: 50 ms
+        assert_eq!(net.node(NodeId(5)).received_at, Some(50));
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let mut net = ring(4);
+        net.set_loss_probability(1.0);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.seen = true;
+            for n in node.neighbors.clone() {
+                ctx.send(n, b"m".to_vec());
+            }
+        });
+        net.run_until(1_000);
+        assert_eq!(net.metrics().counter("messages_lost"), 2);
+        assert!(!net.node(NodeId(1)).seen);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed| {
+            let mut net: Network<Flood> = Network::new(UniformLatency { min_ms: 5, max_ms: 50 }, seed);
+            for i in 0..8 {
+                net.add_node(Flood {
+                    neighbors: vec![NodeId((i + 1) % 8)],
+                    seen: false,
+                    received_at: None,
+                });
+            }
+            net.invoke(NodeId(0), |node, ctx| {
+                node.seen = true;
+                ctx.send(NodeId(1), b"m".to_vec());
+            });
+            net.run_until(10_000);
+            (0..8)
+                .map(|i| net.node(NodeId(i)).received_at)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node for TimerNode {
+            type Message = Vec<u8>;
+            fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+                ctx.set_timer(30, 3);
+                ctx.set_timer(10, 1);
+                ctx.set_timer(20, 2);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Vec<u8>>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Vec<u8>>, token: u64) {
+                assert_eq!(ctx.now() % 10, 0);
+                self.fired.push(token);
+            }
+        }
+        let mut net = Network::new(ConstantLatency(1), 1);
+        let id = net.add_node(TimerNode { fired: vec![] });
+        net.run_until(100);
+        assert_eq!(net.node(id).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_does_not_overshoot() {
+        let mut net = ring(4);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.seen = true;
+            ctx.send(NodeId(1), b"m".to_vec());
+        });
+        net.run_until(5); // before the 10 ms latency
+        assert!(!net.node(NodeId(1)).seen);
+        assert_eq!(net.now(), 5);
+        net.run_until(10);
+        assert!(net.node(NodeId(1)).seen);
+    }
+
+    #[test]
+    fn send_to_unknown_peer_is_counted_not_fatal() {
+        let mut net = ring(2);
+        net.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(99), b"m".to_vec()));
+        net.run_until(100);
+        assert_eq!(net.metrics().counter("messages_to_unknown_peer"), 1);
+    }
+
+    #[test]
+    fn late_join_gets_started() {
+        let mut net = ring(2);
+        net.run_until(50);
+        let id = net.add_node(Flood { neighbors: vec![NodeId(0)], seen: false, received_at: None });
+        net.run_until(100);
+        // reachable: sending to it works
+        net.invoke(NodeId(0), |_, ctx| ctx.send(id, b"m".to_vec()));
+        net.run_until(200);
+        assert!(net.node(id).seen);
+    }
+}

@@ -1,0 +1,122 @@
+//! Topology generators: initial peer sets for overlay protocols.
+//!
+//! GossipSub discovers and manages its mesh itself, but every peer needs a
+//! bootstrap set of known peers. These helpers build the usual shapes used
+//! in p2p evaluations (the GossipSub paper evaluates on random regular-ish
+//! graphs).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::sim::NodeId;
+
+/// Every peer knows every other peer (small networks / tests).
+pub fn full_mesh(n: usize) -> Vec<Vec<NodeId>> {
+    (0..n)
+        .map(|i| (0..n).filter(|j| *j != i).map(NodeId).collect())
+        .collect()
+}
+
+/// A ring: each peer knows its two neighbours (worst-case diameter).
+pub fn ring(n: usize) -> Vec<Vec<NodeId>> {
+    assert!(n >= 2, "ring needs at least 2 nodes");
+    (0..n)
+        .map(|i| vec![NodeId((i + 1) % n), NodeId((i + n - 1) % n)])
+        .collect()
+}
+
+/// A random graph where each peer gets `degree` distinct random known
+/// peers; edges are symmetrized (so actual degree may exceed `degree`).
+///
+/// # Panics
+///
+/// Panics if `degree >= n`.
+pub fn random_regular(n: usize, degree: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    assert!(degree < n, "degree must be below node count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+    let all: Vec<usize> = (0..n).collect();
+    for i in 0..n {
+        let mut candidates: Vec<usize> = all.iter().copied().filter(|j| *j != i).collect();
+        candidates.shuffle(&mut rng);
+        for j in candidates.into_iter().take(degree) {
+            adj[i].insert(j);
+            adj[j].insert(i);
+        }
+    }
+    adj.into_iter()
+        .map(|s| s.into_iter().map(NodeId).collect())
+        .collect()
+}
+
+/// Checks whether the (symmetric) adjacency is a connected graph — used by
+/// tests and experiment setup assertions.
+pub fn is_connected(adjacency: &[Vec<NodeId>]) -> bool {
+    if adjacency.is_empty() {
+        return true;
+    }
+    let n = adjacency.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut visited = 1;
+    while let Some(i) = stack.pop() {
+        for peer in &adjacency[i] {
+            if !seen[peer.0] {
+                seen[peer.0] = true;
+                visited += 1;
+                stack.push(peer.0);
+            }
+        }
+    }
+    visited == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mesh_degrees() {
+        let t = full_mesh(5);
+        assert!(t.iter().all(|peers| peers.len() == 4));
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn ring_is_connected() {
+        let t = ring(10);
+        assert!(t.iter().all(|peers| peers.len() == 2));
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn random_regular_has_at_least_degree() {
+        let t = random_regular(50, 6, 7);
+        assert!(t.iter().all(|peers| peers.len() >= 6));
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn random_regular_is_symmetric() {
+        let t = random_regular(30, 4, 9);
+        for (i, peers) in t.iter().enumerate() {
+            for p in peers {
+                assert!(t[p.0].contains(&NodeId(i)), "edge {i}<->{p} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(random_regular(20, 4, 1), random_regular(20, 4, 1));
+        assert_ne!(random_regular(20, 4, 1), random_regular(20, 4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be below")]
+    fn degree_too_large_panics() {
+        let _ = random_regular(4, 4, 1);
+    }
+}

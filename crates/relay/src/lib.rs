@@ -1,0 +1,19 @@
+//! # wakurln-relay
+//!
+//! WAKU-RELAY: the anonymous gossip-based pub/sub protocol that
+//! WAKU-RLN-RELAY extends (paper §I). Receiver anonymity comes from the
+//! gossip routing itself; sender anonymity from the PII-free
+//! [`WakuMessage`] envelope — no signatures, no sender ids, no sequence
+//! numbers.
+//!
+//! * [`message`] — the anonymized envelope and its wire codec,
+//! * [`node`] — the relay peer over GossipSub with pluggable validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod message;
+pub mod node;
+
+pub use message::{CodecError, WakuMessage};
+pub use node::{WakuRelayNode, DEFAULT_PUBSUB_TOPIC};

@@ -1,0 +1,188 @@
+//! The WAKU-RELAY peer: anonymous topic-based pub/sub over GossipSub.
+
+use crate::message::WakuMessage;
+use wakurln_gossipsub::{
+    Delivery, GossipsubConfig, GossipsubNode, MessageId, Rpc, ScoringConfig, Topic, Validator,
+};
+use wakurln_netsim::{Context, Node, NodeId};
+
+/// The default WAKU pub/sub topic (all peers of one network share it; the
+/// paper's Figure 1 groups RLN membership per pub/sub topic).
+pub const DEFAULT_PUBSUB_TOPIC: &str = "/waku/2/default-waku/proto";
+
+/// A WAKU-RELAY peer: GossipSub routing plus the anonymized
+/// [`WakuMessage`] envelope.
+///
+/// Generic over the GossipSub [`Validator`] so that WAKU-RLN-RELAY can
+/// attach its RLN validation pipeline without this crate knowing about
+/// proofs.
+pub struct WakuRelayNode<V: Validator> {
+    inner: GossipsubNode<V>,
+    pubsub_topic: Topic,
+}
+
+impl<V: Validator> WakuRelayNode<V> {
+    /// Creates a relay peer subscribed to `pubsub_topic`.
+    pub fn new(
+        config: GossipsubConfig,
+        scoring: ScoringConfig,
+        known_peers: Vec<NodeId>,
+        validator: V,
+        pubsub_topic: Topic,
+    ) -> WakuRelayNode<V> {
+        let mut inner = GossipsubNode::new(config, scoring, known_peers, validator);
+        inner.subscribe(pubsub_topic.clone());
+        WakuRelayNode {
+            inner,
+            pubsub_topic,
+        }
+    }
+
+    /// Creates a peer on the default pub/sub topic.
+    pub fn with_defaults(known_peers: Vec<NodeId>, validator: V) -> WakuRelayNode<V> {
+        WakuRelayNode::new(
+            GossipsubConfig::default(),
+            ScoringConfig::default(),
+            known_peers,
+            validator,
+            Topic::new(DEFAULT_PUBSUB_TOPIC),
+        )
+    }
+
+    /// The pub/sub topic this peer participates in.
+    pub fn pubsub_topic(&self) -> &Topic {
+        &self.pubsub_topic
+    }
+
+    /// Publishes an anonymized message.
+    pub fn publish(&mut self, ctx: &mut Context<'_, Rpc>, message: &WakuMessage) -> MessageId {
+        self.inner
+            .publish(ctx, self.pubsub_topic.clone(), message.encode())
+    }
+
+    /// Messages delivered to this peer, decoded. Malformed payloads are
+    /// skipped (they were already counted by validation).
+    pub fn waku_deliveries(&self) -> Vec<(WakuMessage, u64)> {
+        self.inner
+            .delivered()
+            .iter()
+            .filter_map(|d: &Delivery| WakuMessage::decode(&d.data).ok().map(|m| (m, d.at_ms)))
+            .collect()
+    }
+
+    /// Raw gossipsub deliveries (id, time) for latency accounting.
+    pub fn raw_deliveries(&self) -> &[Delivery] {
+        self.inner.delivered()
+    }
+
+    /// Access to the underlying GossipSub state (mesh, scores, validator).
+    pub fn gossipsub(&self) -> &GossipsubNode<V> {
+        &self.inner
+    }
+
+    /// Mutable access to the underlying GossipSub node.
+    pub fn gossipsub_mut(&mut self) -> &mut GossipsubNode<V> {
+        &mut self.inner
+    }
+
+    /// The validator (e.g. the RLN pipeline state).
+    pub fn validator(&self) -> &V {
+        self.inner.validator()
+    }
+
+    /// Mutable validator access.
+    pub fn validator_mut(&mut self) -> &mut V {
+        self.inner.validator_mut()
+    }
+}
+
+impl<V: Validator> Node for WakuRelayNode<V> {
+    type Message = Rpc;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Rpc>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: Rpc) {
+        self.inner.on_message(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Rpc>, token: u64) {
+        self.inner.on_timer(ctx, token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wakurln_gossipsub::AcceptAll;
+    use wakurln_netsim::{topology, Network, UniformLatency};
+
+    fn network(n: usize, seed: u64) -> Network<WakuRelayNode<AcceptAll>> {
+        let adjacency = topology::random_regular(n, 5, seed);
+        let mut net = Network::new(UniformLatency { min_ms: 10, max_ms: 40 }, seed);
+        for peers in adjacency {
+            net.add_node(WakuRelayNode::with_defaults(peers, AcceptAll));
+        }
+        net
+    }
+
+    #[test]
+    fn waku_messages_flow_end_to_end() {
+        let mut net = network(25, 1);
+        net.run_until(8_000);
+        let msg = WakuMessage::new("/app/1/chat/proto", b"gm, anonymously".to_vec());
+        net.invoke(NodeId(3), |node, ctx| node.publish(ctx, &msg));
+        net.run_until(20_000);
+        let mut got = 0;
+        for i in 0..25 {
+            if i == 3 {
+                continue;
+            }
+            let deliveries = net.node(NodeId(i)).waku_deliveries();
+            if deliveries
+                .iter()
+                .any(|(m, _)| m.payload == b"gm, anonymously" && m.content_topic == "/app/1/chat/proto")
+            {
+                got += 1;
+            }
+        }
+        assert!(got >= 23, "delivered to {got}/24");
+    }
+
+    #[test]
+    fn content_topics_multiplex_over_one_pubsub_topic() {
+        let mut net = network(10, 2);
+        net.run_until(8_000);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.publish(ctx, &WakuMessage::new("/app/a", b"1".to_vec()));
+            node.publish(ctx, &WakuMessage::new("/app/b", b"2".to_vec()))
+        });
+        net.run_until(20_000);
+        let deliveries = net.node(NodeId(5)).waku_deliveries();
+        let topics: Vec<&str> = deliveries.iter().map(|(m, _)| m.content_topic.as_str()).collect();
+        assert!(topics.contains(&"/app/a"));
+        assert!(topics.contains(&"/app/b"));
+    }
+
+    #[test]
+    fn duplicate_publish_is_deduplicated_network_wide() {
+        let mut net = network(10, 3);
+        net.run_until(8_000);
+        let msg = WakuMessage::new("/app", b"same-bytes".to_vec());
+        // two different peers publish identical bytes — content addressing
+        // collapses them
+        net.invoke(NodeId(0), |node, ctx| node.publish(ctx, &msg));
+        net.invoke(NodeId(1), |node, ctx| node.publish(ctx, &msg));
+        net.run_until(20_000);
+        for i in 2..10 {
+            let n = net
+                .node(NodeId(i))
+                .waku_deliveries()
+                .iter()
+                .filter(|(m, _)| m.payload == b"same-bytes")
+                .count();
+            assert!(n <= 1, "node {i} saw {n} copies");
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Local (off-chain) view of the RLN membership group.
+
+use crate::identity::Identity;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wakurln_crypto::field::Fr;
+use wakurln_crypto::merkle::{FullMerkleTree, MerkleError, MerkleProof, EMPTY_LEAF};
+
+/// Errors from group bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GroupError {
+    /// Underlying tree error.
+    Merkle(MerkleError),
+    /// The commitment is already registered.
+    AlreadyRegistered(Fr),
+    /// No member at the given index.
+    NoSuchMember(u64),
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::Merkle(e) => write!(f, "merkle error: {e}"),
+            GroupError::AlreadyRegistered(pk) => write!(f, "commitment {pk} already registered"),
+            GroupError::NoSuchMember(i) => write!(f, "no member at index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GroupError::Merkle(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MerkleError> for GroupError {
+    fn from(e: MerkleError) -> GroupError {
+        GroupError::Merkle(e)
+    }
+}
+
+/// A full-node view of the membership group: the complete Merkle tree plus
+/// a commitment→index map.
+///
+/// Per §III the on-chain contract stores only the *ordered list* of
+/// commitments; each peer replays registration/deletion events into a
+/// structure like this one. (Light peers use
+/// [`wakurln_crypto::merkle::SyncedPathTree`] instead.)
+///
+/// # Examples
+///
+/// ```
+/// use wakurln_rln::{Identity, RlnGroup};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut group = RlnGroup::new(20)?;
+/// let id = Identity::random(&mut rng);
+/// let index = group.register(id.commitment())?;
+/// let proof = group.membership_proof(index)?;
+/// assert!(proof.verify(group.root(), id.commitment()));
+/// # Ok::<(), wakurln_rln::GroupError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RlnGroup {
+    tree: FullMerkleTree,
+    index_of: HashMap<[u8; 32], u64>,
+}
+
+impl RlnGroup {
+    /// Creates an empty group over a tree of the given depth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MerkleError::UnsupportedDepth`].
+    pub fn new(depth: usize) -> Result<RlnGroup, GroupError> {
+        Ok(RlnGroup {
+            tree: FullMerkleTree::new(depth)?,
+            index_of: HashMap::new(),
+        })
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.tree.depth()
+    }
+
+    /// Current membership root.
+    pub fn root(&self) -> Fr {
+        self.tree.root()
+    }
+
+    /// Number of registered (non-deleted) members.
+    pub fn member_count(&self) -> usize {
+        self.index_of.len()
+    }
+
+    /// Registers a commitment at the next free index.
+    ///
+    /// # Errors
+    ///
+    /// * [`GroupError::AlreadyRegistered`] for duplicate commitments —
+    ///   mirroring the contract, which rejects double registration.
+    /// * [`GroupError::Merkle`] when the tree is full.
+    pub fn register(&mut self, commitment: Fr) -> Result<u64, GroupError> {
+        let key = commitment.to_bytes_le();
+        if self.index_of.contains_key(&key) {
+            return Err(GroupError::AlreadyRegistered(commitment));
+        }
+        let index = self.tree.append(commitment)?;
+        self.index_of.insert(key, index);
+        Ok(index)
+    }
+
+    /// Removes the member at `index` (slashing), zeroing its leaf.
+    ///
+    /// Returns the removed commitment.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::NoSuchMember`] if the slot is empty or out of range.
+    pub fn remove(&mut self, index: u64) -> Result<Fr, GroupError> {
+        let leaf = self.tree.leaf(index)?;
+        if leaf == EMPTY_LEAF {
+            return Err(GroupError::NoSuchMember(index));
+        }
+        self.tree.remove(index)?;
+        self.index_of.remove(&leaf.to_bytes_le());
+        Ok(leaf)
+    }
+
+    /// Removes a member identified by its *secret key* — the slashing
+    /// entry point: anyone who learns `sk` (via double-signaling) can
+    /// delete the member.
+    ///
+    /// Returns the index of the removed member.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::NoSuchMember`] if `H(sk)` is not registered.
+    pub fn remove_by_secret(&mut self, sk: Fr) -> Result<u64, GroupError> {
+        let commitment = Identity::from_secret(sk).commitment();
+        let index = self
+            .index_of
+            .get(&commitment.to_bytes_le())
+            .copied()
+            .ok_or(GroupError::NoSuchMember(u64::MAX))?;
+        self.remove(index)?;
+        Ok(index)
+    }
+
+    /// Index of a commitment, if registered.
+    pub fn index_of(&self, commitment: Fr) -> Option<u64> {
+        self.index_of.get(&commitment.to_bytes_le()).copied()
+    }
+
+    /// Whether a commitment is currently registered.
+    pub fn contains(&self, commitment: Fr) -> bool {
+        self.index_of.contains_key(&commitment.to_bytes_le())
+    }
+
+    /// Authentication path for the member at `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::Merkle`] for out-of-range indices.
+    pub fn membership_proof(&self, index: u64) -> Result<MerkleProof, GroupError> {
+        Ok(self.tree.proof(index)?)
+    }
+
+    /// The leaf value at `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::Merkle`] for out-of-range indices.
+    pub fn leaf(&self, index: u64) -> Result<Fr, GroupError> {
+        Ok(self.tree.leaf(index)?)
+    }
+
+    /// Read access to the underlying tree (e.g. for storage accounting).
+    pub fn tree(&self) -> &FullMerkleTree {
+        &self.tree
+    }
+}
+
+/// A membership event as emitted by the registry contract and consumed by
+/// synchronizing peers (§III "Group Synchronization").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MembershipEvent {
+    /// A new member registered with this commitment (appended at `index`).
+    Registered {
+        /// Assigned leaf index.
+        index: u64,
+        /// The registered commitment.
+        commitment: Fr,
+    },
+    /// The member at `index` was slashed and removed. Carries the witness
+    /// path so light peers can apply the deletion (see
+    /// [`wakurln_crypto::merkle::SyncedPathTree`]).
+    Slashed {
+        /// Leaf index of the removed member.
+        index: u64,
+        /// The removed commitment.
+        commitment: Fr,
+        /// Authentication path of the removed leaf at removal time.
+        witness: MerkleProof,
+    },
+}
+
+impl RlnGroup {
+    /// Applies a contract event to this local view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration/removal errors; also fails if a
+    /// `Registered` event's index disagrees with the local append order
+    /// (events must be applied in order).
+    pub fn apply_event(&mut self, event: &MembershipEvent) -> Result<(), GroupError> {
+        match event {
+            MembershipEvent::Registered { index, commitment } => {
+                let assigned = self.register(*commitment)?;
+                if assigned != *index {
+                    // roll back to keep the view consistent
+                    self.remove(assigned)?;
+                    return Err(GroupError::Merkle(MerkleError::StaleWitness));
+                }
+                Ok(())
+            }
+            MembershipEvent::Slashed { index, .. } => {
+                self.remove(*index)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn register_and_prove() {
+        let mut g = RlnGroup::new(8).unwrap();
+        let id = Identity::from_secret(Fr::from_u64(9));
+        let idx = g.register(id.commitment()).unwrap();
+        assert_eq!(idx, 0);
+        assert!(g.contains(id.commitment()));
+        assert_eq!(g.index_of(id.commitment()), Some(0));
+        let proof = g.membership_proof(idx).unwrap();
+        assert!(proof.verify(g.root(), id.commitment()));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut g = RlnGroup::new(8).unwrap();
+        let id = Identity::from_secret(Fr::from_u64(9));
+        g.register(id.commitment()).unwrap();
+        assert!(matches!(
+            g.register(id.commitment()),
+            Err(GroupError::AlreadyRegistered(_))
+        ));
+    }
+
+    #[test]
+    fn remove_by_secret_slashes_the_right_member() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = RlnGroup::new(8).unwrap();
+        let ids: Vec<Identity> = (0..5).map(|_| Identity::random(&mut rng)).collect();
+        for id in &ids {
+            g.register(id.commitment()).unwrap();
+        }
+        let removed = g.remove_by_secret(ids[2].secret()).unwrap();
+        assert_eq!(removed, 2);
+        assert!(!g.contains(ids[2].commitment()));
+        assert_eq!(g.member_count(), 4);
+        // other members unaffected
+        let proof = g.membership_proof(3).unwrap();
+        assert!(proof.verify(g.root(), ids[3].commitment()));
+    }
+
+    #[test]
+    fn remove_unknown_secret_fails() {
+        let mut g = RlnGroup::new(8).unwrap();
+        assert!(matches!(
+            g.remove_by_secret(Fr::from_u64(1)),
+            Err(GroupError::NoSuchMember(_))
+        ));
+    }
+
+    #[test]
+    fn double_remove_fails() {
+        let mut g = RlnGroup::new(8).unwrap();
+        let id = Identity::from_secret(Fr::from_u64(9));
+        let idx = g.register(id.commitment()).unwrap();
+        g.remove(idx).unwrap();
+        assert_eq!(g.remove(idx), Err(GroupError::NoSuchMember(idx)));
+    }
+
+    #[test]
+    fn event_replay_matches_direct_mutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ids: Vec<Identity> = (0..4).map(|_| Identity::random(&mut rng)).collect();
+
+        let mut source = RlnGroup::new(8).unwrap();
+        let mut replica = RlnGroup::new(8).unwrap();
+        let mut events = Vec::new();
+        for id in &ids {
+            let index = source.register(id.commitment()).unwrap();
+            events.push(MembershipEvent::Registered {
+                index,
+                commitment: id.commitment(),
+            });
+        }
+        let witness = source.membership_proof(1).unwrap();
+        source.remove(1).unwrap();
+        events.push(MembershipEvent::Slashed {
+            index: 1,
+            commitment: ids[1].commitment(),
+            witness,
+        });
+
+        for e in &events {
+            replica.apply_event(e).unwrap();
+        }
+        assert_eq!(replica.root(), source.root());
+        assert_eq!(replica.member_count(), source.member_count());
+    }
+
+    #[test]
+    fn out_of_order_event_rejected() {
+        let mut g = RlnGroup::new(8).unwrap();
+        let id = Identity::from_secret(Fr::from_u64(1));
+        let err = g
+            .apply_event(&MembershipEvent::Registered {
+                index: 5,
+                commitment: id.commitment(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, GroupError::Merkle(MerkleError::StaleWitness)));
+        // and the failed apply did not leak state
+        assert_eq!(g.member_count(), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # wakurln-zksnark
+//!
+//! The zero-knowledge layer of the WAKU-RLN-RELAY reproduction: a real
+//! R1CS constraint system and the actual RLN circuit (Poseidon hashing,
+//! Merkle membership, Shamir-share correctness), proved and verified by a
+//! simulated Groth16-shaped backend ([`snark::SimSnark`]).
+//!
+//! * [`r1cs`] — constraint system and linear combinations,
+//! * [`gadgets`] — Poseidon / Merkle / boolean circuit gadgets,
+//! * [`circuit`] — the RLN statement from the paper's §II,
+//! * [`snark`] — setup / prove / verify with constant-size proofs.
+//!
+//! See DESIGN.md §2 for exactly which SNARK properties are real versus
+//! simulated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod gadgets;
+pub mod r1cs;
+pub mod snark;
+
+pub use circuit::{RlnCircuit, RlnPublicInputs, RlnWitness};
+pub use snark::{Proof, ProveError, ProvingKey, SimSnark, VerifyingKey};

@@ -1,0 +1,88 @@
+//! Storage report: what one peer actually persists (paper §IV).
+//!
+//! "Each peer persists a 32B public and secret keys and a ≈3.89MB prover
+//! key. A membership tree with depth 20 requires 67MB storage which can
+//! be optimized to 0.128KB using [9]."
+//!
+//! Run with: `cargo run --example storage_report`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wakurln_crypto::field::Fr;
+use wakurln_crypto::merkle::{FullMerkleTree, IncrementalMerkleTree, SyncedPathTree};
+use wakurln_rln::Identity;
+use wakurln_zksnark::{RlnCircuit, SimSnark};
+
+fn human(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.2} MB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.2} KB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    println!("== per-peer storage, depth-20 membership tree ==");
+
+    let identity = Identity::random(&mut rng);
+    println!(
+        "{:<28} {:>12}   (paper: 32 B)",
+        "secret key",
+        human(identity.secret().to_bytes_le().len())
+    );
+    println!(
+        "{:<28} {:>12}   (paper: 32 B)",
+        "public key",
+        human(identity.commitment().to_bytes_le().len())
+    );
+
+    let (proving_key, verifying_key) = SimSnark::setup(RlnCircuit::new(20), &mut rng);
+    println!(
+        "{:<28} {:>12}   (paper: ~3.89 MB)",
+        "prover key",
+        human(proving_key.size_bytes())
+    );
+    println!(
+        "{:<28} {:>12}",
+        "verifier key",
+        human(verifying_key.size_bytes())
+    );
+
+    println!();
+    println!("membership tree representations (depth 20, capacity 2^20):");
+    let full = FullMerkleTree::new(20).expect("depth ok");
+    println!(
+        "{:<28} {:>12}   (paper: 67 MB)",
+        "full tree (relayer/slasher)",
+        human(full.storage_bytes())
+    );
+    let frontier = IncrementalMerkleTree::new(20).expect("depth ok");
+    println!(
+        "{:<28} {:>12}",
+        "append frontier only",
+        human(frontier.storage_bytes())
+    );
+    let mut light = SyncedPathTree::new(20).expect("depth ok");
+    light.register_own(Fr::from_u64(1)).expect("capacity");
+    println!(
+        "{:<28} {:>12}   (paper claim for [9]: 0.128 KB)",
+        "own-path light tree [9]",
+        human(light.storage_bytes())
+    );
+
+    println!();
+    println!(
+        "light-tree reduction vs full tree: {:.0}x",
+        full.storage_bytes() as f64 / light.storage_bytes() as f64
+    );
+    println!(
+        "(our own-path tree keeps frontier + path = 2·depth+1 hashes; the"
+    );
+    println!(
+        "paper's 0.128 KB counts only the ~4-hash diff state of [9] — same"
+    );
+    println!("O(depth)-vs-O(2^depth) conclusion, constant-factor difference.)");
+}

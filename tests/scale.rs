@@ -1,0 +1,83 @@
+//! Integration: a longer-running, larger network — multiple epochs of
+//! honest traffic, several concurrent spammers, churn via slashing, and a
+//! late joiner, all in one deterministic scenario.
+
+use waku_rln::core::{Testbed, TestbedConfig};
+use waku_rln::netsim::NodeId;
+
+#[test]
+fn thirty_peers_three_epochs_two_spammers_one_late_joiner() {
+    let mut tb = Testbed::build(TestbedConfig {
+        n_peers: 30,
+        tree_depth: 12,
+        degree: 6,
+        seed: 2022,
+        ..Default::default()
+    });
+    tb.run(10_000, 1_000); // mesh formation
+    assert_eq!(tb.active_members(), 30);
+
+    // epoch 1: a batch of honest traffic + two double-signaling spammers
+    for peer in [1usize, 5, 9, 13, 17, 21, 25, 29] {
+        let payload = format!("e1-from-{peer}").into_bytes();
+        tb.publish(peer, &payload).unwrap();
+    }
+    for spammer in [3usize, 7] {
+        tb.publish_spam(spammer, format!("sp-{spammer}-a").as_bytes()).unwrap();
+        tb.publish_spam(spammer, format!("sp-{spammer}-b").as_bytes()).unwrap();
+    }
+    tb.run(40_000, 1_000);
+
+    // both spammers slashed, honest messages delivered
+    assert!(!tb.is_member(3), "spammer 3 survived");
+    assert!(!tb.is_member(7), "spammer 7 survived");
+    assert_eq!(tb.active_members(), 28);
+    for peer in [1usize, 5, 9, 13, 17, 21, 25, 29] {
+        let payload = format!("e1-from-{peer}").into_bytes();
+        assert!(
+            tb.delivery_count(&payload, peer) >= 25,
+            "peer {peer}'s epoch-1 message under-delivered"
+        );
+    }
+
+    // a late joiner arrives after the churn
+    let newbie = tb.add_peer(&[0, 10, 20]);
+    tb.run(25_000, 1_000);
+    assert!(tb.is_member(newbie));
+    assert_eq!(tb.active_members(), 29);
+
+    // next epoch: traffic still flows, including from the newcomer
+    for peer in [2usize, 14, 26, newbie] {
+        let payload = format!("e2-from-{peer}").into_bytes();
+        tb.publish(peer, &payload).unwrap();
+    }
+    tb.run(20_000, 1_000);
+    for peer in [2usize, 14, 26, newbie] {
+        let payload = format!("e2-from-{peer}").into_bytes();
+        assert!(
+            tb.delivery_count(&payload, peer) >= 24,
+            "peer {peer}'s epoch-2 message under-delivered"
+        );
+    }
+
+    // validators stayed clean: no honest message was ever counted as spam
+    let mut total_valid = 0u64;
+    for i in 0..tb.peer_count() {
+        let stats = tb.net.node(NodeId(i)).validator().stats();
+        total_valid += stats.valid;
+        assert_eq!(stats.malformed, 0);
+    }
+    assert!(total_valid > 0);
+
+    // bounded state everywhere: nullifier maps hold ≤ Thr+1 epochs
+    for i in 0..tb.peer_count() {
+        let bytes = tb.net.node(NodeId(i)).validator().nullifier_map_bytes();
+        assert!(bytes < 64 * 1024, "peer {i} nullifier map grew to {bytes} B");
+    }
+
+    // light membership trees stayed tiny (E3 property, in vivo)
+    for i in 0..tb.peer_count() {
+        let bytes = tb.net.node(NodeId(i)).membership_storage_bytes();
+        assert!(bytes < 2 * 1024, "peer {i} tree storage {bytes} B");
+    }
+}
