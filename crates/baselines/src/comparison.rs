@@ -71,9 +71,8 @@ pub fn run_rln(scenario: Scenario) -> SchemeOutcome {
 
     let attacker = 0usize;
     // honest publishes
-    let honest_payloads: Vec<Vec<u8>> = (1..n)
-        .map(|i| format!("honest-{i}").into_bytes())
-        .collect();
+    let honest_payloads: Vec<Vec<u8>> =
+        (1..n).map(|i| format!("honest-{i}").into_bytes()).collect();
     for (i, p) in honest_payloads.iter().enumerate() {
         tb.publish(i + 1, p).expect("honest publish");
     }
@@ -101,10 +100,7 @@ pub fn run_rln(scenario: Scenario) -> SchemeOutcome {
     // the attacker's escrowed stake was (partly) burnt on slashing —
     // that's the financial punishment (§I: "spammers are financially
     // punished and those who find spammers are rewarded")
-    let fined = tb
-        .chain
-        .balance_of(wakurln_ethsim::types::Address::BURN)
-        > 0;
+    let fined = tb.chain.balance_of(wakurln_ethsim::types::Address::BURN) > 0;
 
     SchemeOutcome {
         scheme: "waku-rln-relay",
@@ -122,7 +118,10 @@ pub fn run_peer_scoring(scenario: Scenario) -> SchemeOutcome {
     let n = scenario.honest_peers + 1;
     let adjacency = topology::random_regular(n, 4, scenario.seed);
     let mut net: Network<WakuRelayNode<AcceptAll>> = Network::new(
-        UniformLatency { min_ms: 10, max_ms: 80 },
+        UniformLatency {
+            min_ms: 10,
+            max_ms: 80,
+        },
         scenario.seed,
     );
     for peers in adjacency {
@@ -131,9 +130,8 @@ pub fn run_peer_scoring(scenario: Scenario) -> SchemeOutcome {
     net.run_until(8_000);
 
     let attacker = 0usize;
-    let honest_payloads: Vec<Vec<u8>> = (1..n)
-        .map(|i| format!("honest-{i}").into_bytes())
-        .collect();
+    let honest_payloads: Vec<Vec<u8>> =
+        (1..n).map(|i| format!("honest-{i}").into_bytes()).collect();
     for (i, p) in honest_payloads.iter().enumerate() {
         let msg = WakuMessage::new("/app", p.clone());
         net.invoke(NodeId(i + 1), |node, ctx| node.publish(ctx, &msg));
@@ -228,7 +226,10 @@ pub fn run_pow(params: PowScenario) -> SchemeOutcome {
 
     let adjacency = topology::random_regular(n, 4, scenario.seed);
     let mut net: Network<WakuRelayNode<PowValidator>> = Network::new(
-        UniformLatency { min_ms: 10, max_ms: 80 },
+        UniformLatency {
+            min_ms: 10,
+            max_ms: 80,
+        },
         scenario.seed,
     );
     for peers in adjacency {
@@ -243,9 +244,8 @@ pub fn run_pow(params: PowScenario) -> SchemeOutcome {
     let honest_budget = params
         .honest_device
         .seals_per_epoch(params.difficulty_bits, params.epoch_secs);
-    let honest_payloads: Vec<Vec<u8>> = (1..n)
-        .map(|i| format!("honest-{i}").into_bytes())
-        .collect();
+    let honest_payloads: Vec<Vec<u8>> =
+        (1..n).map(|i| format!("honest-{i}").into_bytes()).collect();
     let mut honest_sent = 0usize;
     for (i, p) in honest_payloads.iter().enumerate() {
         if honest_budget >= 1.0 {

@@ -102,10 +102,22 @@ pub struct DeviceProfile {
 
 /// Device classes used by the E6/E9 comparisons.
 pub const DEVICES: [DeviceProfile; 4] = [
-    DeviceProfile { name: "iot-sensor", hash_rate_hz: 5_000.0 },
-    DeviceProfile { name: "phone", hash_rate_hz: 200_000.0 },
-    DeviceProfile { name: "laptop", hash_rate_hz: 5_000_000.0 },
-    DeviceProfile { name: "gpu-rig", hash_rate_hz: 2_000_000_000.0 },
+    DeviceProfile {
+        name: "iot-sensor",
+        hash_rate_hz: 5_000.0,
+    },
+    DeviceProfile {
+        name: "phone",
+        hash_rate_hz: 200_000.0,
+    },
+    DeviceProfile {
+        name: "laptop",
+        hash_rate_hz: 5_000_000.0,
+    },
+    DeviceProfile {
+        name: "gpu-rig",
+        hash_rate_hz: 2_000_000_000.0,
+    },
 ];
 
 impl DeviceProfile {
@@ -209,9 +221,7 @@ mod tests {
     fn sealing_cost_grows_exponentially() {
         // average attempts over a few payloads to smooth variance
         let avg = |bits: u32| -> f64 {
-            let total: u64 = (0..8u8)
-                .map(|i| seal(&[i, bits as u8], bits).1)
-                .sum();
+            let total: u64 = (0..8u8).map(|i| seal(&[i, bits as u8], bits).1).sum();
             total as f64 / 8.0
         };
         let low = avg(4);
@@ -246,9 +256,8 @@ mod tests {
 
     #[test]
     fn validator_accepts_valid_rejects_invalid() {
-        let wrap = |env: &PowEnvelope| {
-            wakurln_relay::WakuMessage::new("/app", env.encode()).encode()
-        };
+        let wrap =
+            |env: &PowEnvelope| wakurln_relay::WakuMessage::new("/app", env.encode()).encode();
         let mut v = PowValidator::new(8);
         let (env, _) = seal(b"ok", 8);
         assert_eq!(

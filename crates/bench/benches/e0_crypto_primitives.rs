@@ -16,7 +16,9 @@ use wakurln_crypto::shamir;
 
 fn bench_field(c: &mut Criterion) {
     let mut group = c.benchmark_group("e0_field");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(1);
     let a = Fr::random(&mut rng);
     let b = Fr::random(&mut rng);
@@ -29,12 +31,32 @@ fn bench_field(c: &mut Criterion) {
 
 fn bench_hashes(c: &mut Criterion) {
     let mut group = c.benchmark_group("e0_hashes");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     let a = Fr::from_u64(1);
     let b = Fr::from_u64(2);
     group.bench_function("poseidon_hash1", |bench| bench.iter(|| poseidon::hash1(a)));
     group.bench_function("poseidon_hash2", |bench| {
         bench.iter(|| poseidon::hash2(a, b))
+    });
+    // fast path (flat params + sparse partial rounds) vs the reference
+    // permutation — the tentpole's headline comparison
+    group.bench_function("poseidon_permute_fast_t3", |bench| {
+        let fp = poseidon::fast_params(3);
+        let mut state = [Fr::ZERO, a, b];
+        bench.iter(|| {
+            poseidon::permute_fast::<3>(fp, &mut state);
+            state[0]
+        })
+    });
+    group.bench_function("poseidon_permute_reference_t3", |bench| {
+        let params = poseidon::params(3);
+        let mut state = vec![Fr::ZERO, a, b];
+        bench.iter(|| {
+            poseidon::permute_with(params, &mut state);
+            state[0]
+        })
     });
     for size in [64usize, 1024, 65536] {
         let data = vec![0xabu8; size];
@@ -48,7 +70,9 @@ fn bench_hashes(c: &mut Criterion) {
 
 fn bench_merkle(c: &mut Criterion) {
     let mut group = c.benchmark_group("e0_merkle");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for depth in [10usize, 16, 20] {
         group.bench_with_input(BenchmarkId::new("full_set", depth), &depth, |bench, &d| {
             let mut tree = FullMerkleTree::new(d).expect("depth ok");
@@ -73,6 +97,21 @@ fn bench_merkle(c: &mut Criterion) {
                 });
             },
         );
+        // batched ingestion: one O(n + depth) pass per 256-leaf burst
+        group.bench_with_input(
+            BenchmarkId::new("incremental_append_batch256", depth),
+            &depth,
+            |bench, &d| {
+                let leaves: Vec<Fr> = (0..256u64).map(Fr::from_u64).collect();
+                let mut tree = IncrementalMerkleTree::new(d).expect("depth ok");
+                bench.iter(|| {
+                    if tree.capacity() - tree.len() < 256 {
+                        tree = IncrementalMerkleTree::new(d).expect("depth ok");
+                    }
+                    tree.append_batch(&leaves).expect("capacity")
+                });
+            },
+        );
     }
     group.bench_function("proof_verify_depth20", |bench| {
         let mut tree = FullMerkleTree::new(20).expect("depth ok");
@@ -86,7 +125,9 @@ fn bench_merkle(c: &mut Criterion) {
 
 fn bench_shamir(c: &mut Criterion) {
     let mut group = c.benchmark_group("e0_shamir");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     let sk = Fr::from_u64(123);
     let a1 = Fr::from_u64(456);
     let s1 = shamir::share_on_line(sk, a1, Fr::from_u64(1));
@@ -100,5 +141,11 @@ fn bench_shamir(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_field, bench_hashes, bench_merkle, bench_shamir);
+criterion_group!(
+    benches,
+    bench_field,
+    bench_hashes,
+    bench_merkle,
+    bench_shamir
+);
 criterion_main!(benches);

@@ -34,7 +34,9 @@ fn bench_proof_generation(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e1_proof_generation");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for depth in [10usize, 16, 20, 24, 32] {
         let mut fixture = ProveFixture::new(depth, 7, 42);
         let mut epoch = 0u64;

@@ -19,7 +19,9 @@ fn bench_proof_verification(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("e2_proof_verification");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     for depth in [10usize, 16, 20, 24, 32] {
         let mut fixture = ProveFixture::new(depth, 7, 42);
         let signal = fixture.signal(1, b"benchmark message");

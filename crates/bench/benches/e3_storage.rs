@@ -98,7 +98,9 @@ fn bench_light_tree_maintenance(c: &mut Criterion) {
     storage_table();
 
     let mut group = c.benchmark_group("e3_light_tree_event_cost");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for depth in [16usize, 20, 32] {
         group.bench_with_input(BenchmarkId::new("apply_append", depth), &depth, |b, &d| {
             let mut tree = SyncedPathTree::new(d).expect("depth ok");

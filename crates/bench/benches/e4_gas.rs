@@ -26,13 +26,25 @@ fn registry_register_gas(member_index: u64) -> u64 {
     for i in 0..member_index {
         let mut m = GasMeter::new();
         contract
-            .register(Address::BURN, ETHER, Fr::from_u64(1_000_000 + i), &mut m, &mut events)
+            .register(
+                Address::BURN,
+                ETHER,
+                Fr::from_u64(1_000_000 + i),
+                &mut m,
+                &mut events,
+            )
             .expect("unique");
     }
     let mut meter = GasMeter::new();
     meter.charge(TX_BASE);
     contract
-        .register(Address::BURN, ETHER, Fr::from_u64(7), &mut meter, &mut events)
+        .register(
+            Address::BURN,
+            ETHER,
+            Fr::from_u64(7),
+            &mut meter,
+            &mut events,
+        )
         .expect("unique");
     meter.used()
 }
@@ -43,13 +55,25 @@ fn registry_slash_gas(prefill: u64) -> u64 {
     for i in 0..prefill {
         let mut m = GasMeter::new();
         contract
-            .register(Address::BURN, ETHER, Fr::from_u64(1_000_000 + i), &mut m, &mut events)
+            .register(
+                Address::BURN,
+                ETHER,
+                Fr::from_u64(1_000_000 + i),
+                &mut m,
+                &mut events,
+            )
             .expect("unique");
     }
     let sk = Fr::from_u64(7);
     let mut m = GasMeter::new();
     contract
-        .register(Address::BURN, ETHER, poseidon::hash1(sk), &mut m, &mut events)
+        .register(
+            Address::BURN,
+            ETHER,
+            poseidon::hash1(sk),
+            &mut m,
+            &mut events,
+        )
         .expect("unique");
     struct NoopEnv;
     impl wakurln_ethsim::contracts::BalanceEnv for NoopEnv {
@@ -70,7 +94,13 @@ fn tree_gas(depth: usize) -> (u64, u64) {
     let mut reg = GasMeter::new();
     reg.charge(TX_BASE);
     contract
-        .register(Address::BURN, ETHER, poseidon::hash1(sk), &mut reg, &mut events)
+        .register(
+            Address::BURN,
+            ETHER,
+            poseidon::hash1(sk),
+            &mut reg,
+            &mut events,
+        )
         .expect("capacity");
     let mut rem = GasMeter::new();
     rem.charge(TX_BASE);
@@ -110,12 +140,12 @@ fn gas_table() {
     }
     // constancy check across group sizes
     println!();
-    row(&[
-        "group size".into(),
-        "registry reg gas".into(),
-    ]);
+    row(&["group size".into(), "registry reg gas".into()]);
     for size in [0u64, 16, 256, 1024] {
-        row(&[format!("{size}"), format!("{}", registry_register_gas(size))]);
+        row(&[
+            format!("{size}"),
+            format!("{}", registry_register_gas(size)),
+        ]);
     }
 }
 
@@ -123,7 +153,9 @@ fn bench_contract_execution(c: &mut Criterion) {
     gas_table();
 
     let mut group = c.benchmark_group("e4_contract_execution");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("registry_register", |b| {
         let mut contract = MembershipContract::new(ETHER, 50);
         let mut events = Vec::new();

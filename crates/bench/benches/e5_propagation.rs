@@ -25,8 +25,13 @@ const N_MESSAGES: usize = 20;
 /// Gossip: per-message time until 95% coverage.
 fn gossip_latencies(seed: u64) -> Vec<u64> {
     let adjacency = topology::random_regular(N_PEERS, 6, seed);
-    let mut net: Network<WakuRelayNode<AcceptAll>> =
-        Network::new(UniformLatency { min_ms: 20, max_ms: 120 }, seed);
+    let mut net: Network<WakuRelayNode<AcceptAll>> = Network::new(
+        UniformLatency {
+            min_ms: 20,
+            max_ms: 120,
+        },
+        seed,
+    );
     for peers in adjacency {
         net.add_node(WakuRelayNode::with_defaults(peers, AcceptAll));
     }
@@ -74,9 +79,13 @@ fn onchain_latencies(seed: u64) -> (Vec<u64>, u64) {
         chain.advance_to(t / 1000);
         let submit_ms = t;
         chain
-            .submit(sender, 0, CallData::Post {
-                payload: format!("e5-onchain-{m}").into_bytes(),
-            })
+            .submit(
+                sender,
+                0,
+                CallData::Post {
+                    payload: format!("e5-onchain-{m}").into_bytes(),
+                },
+            )
             .expect("funded");
         // visible at the next mined block
         let mined_at_ms = chain.next_block_time() * 1000;
@@ -138,12 +147,19 @@ fn bench_propagation(c: &mut Criterion) {
 
     // supporting microbench: simulator throughput for one full publish
     let mut group = c.benchmark_group("e5_simulation_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("small_net_publish_round", |b| {
         b.iter(|| {
             let adjacency = topology::random_regular(20, 4, 3);
-            let mut net: Network<WakuRelayNode<AcceptAll>> =
-                Network::new(UniformLatency { min_ms: 10, max_ms: 50 }, 3);
+            let mut net: Network<WakuRelayNode<AcceptAll>> = Network::new(
+                UniformLatency {
+                    min_ms: 10,
+                    max_ms: 50,
+                },
+                3,
+            );
             for peers in adjacency {
                 net.add_node(WakuRelayNode::with_defaults(peers, AcceptAll));
             }

@@ -84,9 +84,17 @@ fn bench_schemes(c: &mut Criterion) {
     comparison_table();
 
     let mut group = c.benchmark_group("e6_scheme_scenario_runtime");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     group.bench_function("peer_scoring_scenario", |b| {
-        b.iter(|| run_peer_scoring(Scenario { honest_peers: 7, spam_k: 4, seed: 3 }));
+        b.iter(|| {
+            run_peer_scoring(Scenario {
+                honest_peers: 7,
+                spam_k: 4,
+                seed: 3,
+            })
+        });
     });
     group.finish();
 }

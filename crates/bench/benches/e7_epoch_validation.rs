@@ -33,7 +33,11 @@ fn acceptance_curve() {
 
     let offsets = [-100i64, -10, -3, -2, -1, 0, 1, 2, 3, 10];
     let results = epoch_replay_attack(&mut tb, 0, &offsets);
-    row(&["epoch offset".into(), "majority delivery".into(), "expected".into()]);
+    row(&[
+        "epoch offset".into(),
+        "majority delivery".into(),
+        "expected".into(),
+    ]);
     let thr = 2i64;
     for (offset, delivered) in &results {
         let expected = offset.abs() <= thr;
@@ -65,7 +69,9 @@ fn bench_epoch_check(c: &mut Criterion) {
     acceptance_curve();
 
     let mut group = c.benchmark_group("e7_epoch_check");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     let scheme = EpochScheme::new(10, 20_000);
     group.bench_function("within_window", |b| {
         let mut e = 0u64;

@@ -25,7 +25,12 @@ fn memory_table() {
         "E8: nullifier-map memory vs Thr (1000 members messaging/epoch)",
         "state bounded to the last Thr epochs; older entries collected",
     );
-    row(&["Thr".into(), "epochs tracked".into(), "entries".into(), "bytes".into()]);
+    row(&[
+        "Thr".into(),
+        "epochs tracked".into(),
+        "entries".into(),
+        "bytes".into(),
+    ]);
     for thr in [1u64, 2, 5, 10, 50] {
         let mut map = NullifierMap::new();
         // 200 epochs of traffic from 1000 members, gc per epoch
@@ -76,7 +81,9 @@ fn bench_map_ops(c: &mut Criterion) {
     memory_table();
 
     let mut group = c.benchmark_group("e8_nullifier_map_ops");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     for preload in [1_000u64, 10_000, 100_000] {
         group.bench_with_input(
             BenchmarkId::new("insert_into_preloaded", preload),

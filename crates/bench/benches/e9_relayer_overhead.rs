@@ -21,17 +21,28 @@ fn overhead_table() {
     // modeled device costs (paper's iPhone 8 numbers)
     let cost = CostModel::default();
     row(&["check".into(), "modeled µs (iPhone-8 profile)".into()]);
-    row(&["proof verify".into(), format!("{}", cost.verify_proof_micros)]);
+    row(&[
+        "proof verify".into(),
+        format!("{}", cost.verify_proof_micros),
+    ]);
     row(&["epoch check".into(), format!("{}", cost.epoch_check_micros)]);
-    row(&["nullifier check".into(), format!("{}", cost.nullifier_check_micros)]);
-    row(&["sk reconstruction".into(), format!("{}", cost.reconstruct_micros)]);
+    row(&[
+        "nullifier check".into(),
+        format!("{}", cost.nullifier_check_micros),
+    ]);
+    row(&[
+        "sk reconstruction".into(),
+        format!("{}", cost.reconstruct_micros),
+    ]);
 }
 
 fn bench_relayer_overhead(c: &mut Criterion) {
     overhead_table();
 
     let mut group = c.benchmark_group("e9_relayer_overhead");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     // full RLN pipeline (decode + verify + epoch + nullifier map), across
     // group sizes — the series must be flat (constant overhead)

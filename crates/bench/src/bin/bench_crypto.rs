@@ -1,0 +1,59 @@
+//! Emits `BENCH_crypto.json`: throughput of the crypto-pipeline hot paths
+//! (Poseidon fast vs reference, batched vs sequential Merkle ingestion,
+//! proof generation, single vs batch verification).
+//!
+//! Usage: `cargo run --release -p wakurln-bench --bin bench_crypto
+//! [-- --budget-ms N] [--out PATH]`. See `PERF.md` for the measurement
+//! protocol.
+
+use std::time::Duration;
+use wakurln_bench::crypto_report::{run, ReportConfig};
+
+fn main() {
+    let mut config = ReportConfig::default();
+    let mut out_path = String::from("BENCH_crypto.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget-ms" => {
+                let Some(ms) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--budget-ms needs an integer (milliseconds)");
+                    std::process::exit(2);
+                };
+                config.section_budget = Duration::from_millis(ms);
+            }
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                };
+                out_path = path;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_crypto [--budget-ms N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "measuring crypto pipeline (budget {:?}/section, depth {}, {} threads)...",
+        config.section_budget,
+        config.tree_depth,
+        wakurln_zksnark::parallel::max_threads(),
+    );
+    let report = run(config);
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).expect("write report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    eprintln!(
+        "poseidon fast/reference: {:.2}x | merkle batch/seq: {:.2}x ({:.1}x fewer hashes) | prove batch/single: {:.2}x | verify batch/single: {:.2}x",
+        report.poseidon_speedup,
+        report.batch_append_speedup,
+        report.hash_invocation_ratio,
+        report.prove_batch_per_sec / report.prove_per_sec.max(f64::MIN_POSITIVE),
+        report.verify_batch_per_sec / report.verify_per_sec.max(f64::MIN_POSITIVE),
+    );
+}

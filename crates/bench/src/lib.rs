@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crypto_report;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wakurln_crypto::field::Fr;
@@ -58,7 +60,8 @@ impl ProveFixture {
         let (proving_key, verifying_key) = SimSnark::setup(RlnCircuit::new(depth), &mut rng);
         let mut tree = SyncedPathTree::new(depth).expect("valid depth");
         for i in 0..extra_members {
-            tree.apply_append(Fr::from_u64(10_000 + i)).expect("capacity");
+            tree.apply_append(Fr::from_u64(10_000 + i))
+                .expect("capacity");
         }
         let identity = Identity::random(&mut rng);
         let index = tree.register_own(identity.commitment()).expect("capacity");

@@ -1,0 +1,268 @@
+//! Offline compatibility shim for the subset of the `criterion` API this
+//! workspace uses (see `crates/compat/README.md`).
+//!
+//! Each benchmark runs a short warm-up, then samples wall-clock time under
+//! a bounded budget and prints the mean `ns/iter` (plus derived
+//! throughput when configured). This keeps `cargo bench` targets building
+//! and producing honest numbers without registry access; it makes no
+//! attempt at criterion's statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so callers can `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n-- group: {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: 20,
+            measure_budget: MEASURE_BUDGET,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchId>, mut f: F) {
+        run_one("bench", &id.into().0, 20, MEASURE_BUDGET, None, &mut f);
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named benchmark id, optionally parameterized.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> BenchId {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> BenchId {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> BenchId {
+        BenchId(id.0)
+    }
+}
+
+/// Parameterized benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: &str, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    group: String,
+    sample_size: usize,
+    measure_budget: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget for each benchmark's measurement phase.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.measure_budget = budget;
+        self
+    }
+
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.group,
+            &id.into().0,
+            self.sample_size,
+            self.measure_budget,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an input handed through to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.group,
+            &id.into().0,
+            self.sample_size,
+            self.measure_budget,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    measure_budget: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        sample_size,
+        measure_budget,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{group}/{id}: no iterations recorded");
+        return;
+    }
+    let ns_per_iter = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 * 1e9 / ns_per_iter)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.0} B/s)", n as f64 * 1e9 / ns_per_iter)
+        }
+        None => String::new(),
+    };
+    println!("{group}/{id}: {ns_per_iter:.1} ns/iter{rate}");
+}
+
+/// Per-benchmark timing harness.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    sample_size: usize,
+    measure_budget: Duration,
+}
+
+/// Default wall-clock budget for one benchmark's measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(500);
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // warm-up: one untimed run
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.sample_size as u64 && start.elapsed() >= self.measure_budget {
+                break;
+            }
+            if iters >= self.sample_size as u64 * 64 {
+                break;
+            }
+            if start.elapsed() >= self.measure_budget * 4 {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut ran = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(3));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline compatibility shim for the serde trait surface this workspace
+//! uses (see `crates/compat/README.md`).
+//!
+//! The workspace's wire formats are hand-written codecs; serde appears
+//! only as `#[derive(Serialize, Deserialize)]` markers and one manual
+//! byte-oriented impl for the field element. This shim provides exactly
+//! that surface: the derives expand to nothing, and the traits below give
+//! the manual impls something real to implement against.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serializable value.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data-format serializer (byte-oriented subset).
+pub trait Serializer: Sized {
+    /// Success value.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serializes a raw byte string.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Serialization-side error support.
+pub mod ser {
+    use core::fmt;
+
+    /// Errors a serializer can produce.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A deserializable value.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data-format deserializer (byte-oriented subset).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Requests a byte string, driving the given visitor.
+    fn deserialize_bytes<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+impl<'de> Deserialize<'de> for u8 {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        // No deserializer implementation exists in this workspace; this
+        // impl only satisfies `SeqAccess::next_element::<u8>` bounds.
+        Err(<D::Error as de::Error>::custom("unsupported in serde shim"))
+    }
+}
+
+/// Deserialization-side support types.
+pub mod de {
+    use super::Deserialize;
+    use core::fmt;
+
+    /// Errors a deserializer can produce.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+
+        /// Reports a sequence/byte-string of unexpected length.
+        fn invalid_length(len: usize, expected: &dyn Expected) -> Self {
+            Self::custom(format_args!(
+                "invalid length {len}, expected {}",
+                ExpectedDisplay(expected)
+            ))
+        }
+    }
+
+    struct ExpectedDisplay<'a>(&'a dyn Expected);
+
+    impl fmt::Display for ExpectedDisplay<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            Expected::fmt(self.0, f)
+        }
+    }
+
+    /// Something that can describe what input it expected (visitors).
+    pub trait Expected {
+        /// Writes the expectation, e.g. `"32 little-endian bytes"`.
+        fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+    }
+
+    impl<'de, T: Visitor<'de>> Expected for T {
+        fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.expecting(formatter)
+        }
+    }
+
+    /// Drives value construction during deserialization.
+    pub trait Visitor<'de>: Sized {
+        /// The value being built.
+        type Value;
+
+        /// Describes the expected input for error messages.
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Visits a raw byte string.
+        fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected byte string"))
+        }
+
+        /// Visits a sequence of elements.
+        fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+            Err(<A::Error as Error>::custom("unexpected sequence"))
+        }
+    }
+
+    /// Access to the elements of a sequence being deserialized.
+    pub trait SeqAccess<'de> {
+        /// Error type.
+        type Error: Error;
+
+        /// Returns the next element, or `None` at the end.
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    }
+}

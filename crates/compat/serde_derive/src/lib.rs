@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! Nothing in this workspace serializes through serde (all wire formats
+//! are hand-written codecs), so the derives only need to make
+//! `#[derive(Serialize, Deserialize)]` attributes compile. They expand to
+//! nothing; the trait surface lives in the sibling `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -191,7 +191,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut encoded = encode_signal(5, &sample_signal(5, b"abc"));
         encoded.push(0);
-        assert_eq!(decode_signal(&encoded), Err(SignalCodecError::TrailingBytes));
+        assert_eq!(
+            decode_signal(&encoded),
+            Err(SignalCodecError::TrailingBytes)
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 use crate::epoch::EpochScheme;
 use crate::node::{PublishError, RlnRelayNode};
 use crate::validator::{CostModel, RlnValidator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use wakurln_crypto::field::Fr;
 use wakurln_crypto::merkle::{zero_hashes, MerkleProof};
@@ -18,15 +20,16 @@ use wakurln_gossipsub::{GossipsubConfig, MessageId, ScoringConfig};
 use wakurln_netsim::{topology, Network, NodeId, UniformLatency};
 use wakurln_rln::{Identity, RlnGroup};
 use wakurln_zksnark::{ProvingKey, RlnCircuit, SimSnark, VerifyingKey};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A processed membership event with the witness material a late-joining
-/// peer needs to replay it.
+/// peer needs to replay it. Registration runs are stored at the same
+/// burst granularity live peers applied them (one burst per sync slice),
+/// so a replaying newcomer's accepted-roots window sees exactly the
+/// root sequence every live peer pushed.
 #[derive(Clone, Debug)]
 enum ReplayEvent {
-    Registered {
-        commitment: Fr,
+    RegisteredBurst {
+        commitments: Vec<Fr>,
     },
     Slashed {
         index: u64,
@@ -131,12 +134,8 @@ impl Testbed {
         let mut identities = Vec::with_capacity(config.n_peers);
         for (i, peers) in adjacency.into_iter().enumerate() {
             let identity = Identity::random(&mut rng);
-            let validator = RlnValidator::new(
-                verifying_key.clone(),
-                config.epoch,
-                empty_root,
-                config.cost,
-            );
+            let validator =
+                RlnValidator::new(verifying_key.clone(), config.epoch, empty_root, config.cost);
             let mut node = RlnRelayNode::new(
                 peers,
                 validator,
@@ -151,9 +150,13 @@ impl Testbed {
             let address = Address::from_label(&format!("peer-{i}"));
             chain.fund(address, 100 * config.stake);
             chain
-                .submit(address, config.stake, CallData::Register {
-                    commitment: identity.commitment(),
-                })
+                .submit(
+                    address,
+                    config.stake,
+                    CallData::Register {
+                        commitment: identity.commitment(),
+                    },
+                )
                 .expect("funded");
             addresses.push(address);
             identities.push(identity);
@@ -227,12 +230,15 @@ impl Testbed {
             self.config.scoring,
         );
         node.set_identity(identity);
-        // replay history so the newcomer's tree matches the network's
+        // replay history so the newcomer's tree matches the network's:
+        // each recorded burst goes through the batched ingestion path at
+        // the same granularity live peers applied it, reproducing their
+        // accepted-roots window
         for event in &self.replay_log {
             match event {
-                ReplayEvent::Registered { commitment } => {
-                    node.apply_registration(*commitment)
-                        .expect("replayed registration");
+                ReplayEvent::RegisteredBurst { commitments } => {
+                    node.apply_registrations(commitments)
+                        .expect("replayed registrations");
                 }
                 ReplayEvent::Slashed {
                     index,
@@ -250,9 +256,13 @@ impl Testbed {
         let address = Address::from_label(&format!("peer-{peer}-late-{}", self.rng.gen::<u64>()));
         self.chain.fund(address, 100 * self.config.stake);
         self.chain
-            .submit(address, self.config.stake, CallData::Register {
-                commitment: identity.commitment(),
-            })
+            .submit(
+                address,
+                self.config.stake,
+                CallData::Register {
+                    commitment: identity.commitment(),
+                },
+            )
             .expect("funded");
         self.addresses.push(address);
         self.identities.push(identity);
@@ -294,13 +304,10 @@ impl Testbed {
     /// # Errors
     ///
     /// Propagates [`PublishError`].
-    pub fn publish_spam(
-        &mut self,
-        peer: usize,
-        payload: &[u8],
-    ) -> Result<MessageId, PublishError> {
-        self.net
-            .invoke(NodeId(peer), |node, ctx| node.publish_unchecked(ctx, payload))
+    pub fn publish_spam(&mut self, peer: usize, payload: &[u8]) -> Result<MessageId, PublishError> {
+        self.net.invoke(NodeId(peer), |node, ctx| {
+            node.publish_unchecked(ctx, payload)
+        })
     }
 
     /// Publishes with a forged epoch (`current + offset`) — the E7 replay
@@ -351,27 +358,45 @@ impl Testbed {
             .sum()
     }
 
+    /// Applies a burst of consecutive registration events through the
+    /// batched ingestion path: one `O(n + depth)` tree update on the
+    /// mirror and on every peer, instead of `n` full per-event updates.
+    fn flush_registration_burst(&mut self, burst: &mut Vec<Fr>) {
+        if burst.is_empty() {
+            return;
+        }
+        self.mirror
+            .register_batch(burst)
+            .expect("mirror batch registration");
+        for i in 0..self.net.len() {
+            self.net
+                .node_mut(NodeId(i))
+                .apply_registrations(burst)
+                .expect("peer registration sync");
+        }
+        self.replay_log.push(ReplayEvent::RegisteredBurst {
+            commitments: std::mem::take(burst),
+        });
+    }
+
     fn sync_chain_events(&mut self) {
         let (events, cursor) = self.chain.events_since(self.event_cursor);
         let events: Vec<ChainEvent> = events.iter().map(|e| e.event.clone()).collect();
         self.event_cursor = cursor;
+        let mut burst: Vec<Fr> = Vec::new();
+        let mut expected_start: Option<u64> = None;
         for event in events {
             match event {
                 ChainEvent::MemberRegistered { index, commitment } => {
-                    let assigned = self
-                        .mirror
-                        .register(commitment)
-                        .expect("mirror registration");
-                    assert_eq!(assigned, index, "event order mismatch");
-                    for i in 0..self.net.len() {
-                        self.net
-                            .node_mut(NodeId(i))
-                            .apply_registration(commitment)
-                            .expect("peer registration sync");
-                    }
-                    self.replay_log.push(ReplayEvent::Registered { commitment });
+                    let start = *expected_start.get_or_insert(self.mirror.tree().next_index());
+                    assert_eq!(start + burst.len() as u64, index, "event order mismatch");
+                    burst.push(commitment);
                 }
-                ChainEvent::MemberSlashed { index, commitment, .. } => {
+                ChainEvent::MemberSlashed {
+                    index, commitment, ..
+                } => {
+                    self.flush_registration_burst(&mut burst);
+                    expected_start = None;
                     let witness = self
                         .mirror
                         .membership_proof(index)
@@ -392,6 +417,7 @@ impl Testbed {
                 ChainEvent::TreeRootUpdated { .. } | ChainEvent::MessagePosted { .. } => {}
             }
         }
+        self.flush_registration_burst(&mut burst);
     }
 
     fn submit_detected_slashes(&mut self) {
@@ -405,13 +431,15 @@ impl Testbed {
                 let key = detection.evidence.commitment.to_bytes_le();
                 if self.submitted_slashes.insert(key) {
                     self.chain
-                        .submit(self.addresses[i], 0, CallData::Slash {
-                            secret: detection.evidence.revealed_secret,
-                        })
+                        .submit(
+                            self.addresses[i],
+                            0,
+                            CallData::Slash {
+                                secret: detection.evidence.revealed_secret,
+                            },
+                        )
                         .expect("slash submission");
-                    self.net
-                        .metrics_mut()
-                        .count("slash_submissions", 1);
+                    self.net.metrics_mut().count("slash_submissions", 1);
                 }
             }
         }
@@ -476,9 +504,7 @@ mod tests {
         assert_eq!(tb.active_members(), 7, "spammer not slashed");
         assert!(!tb.is_member(spammer), "spammer still has membership");
         // slasher got rewarded: someone's balance grew beyond funding minus stake
-        let rewarded = (0..8).any(|i| {
-            tb.chain.balance_of(tb.address(i)) > 100 * ETHER - ETHER
-        });
+        let rewarded = (0..8).any(|i| tb.chain.balance_of(tb.address(i)) > 100 * ETHER - ETHER);
         assert!(rewarded, "no slasher reward paid");
     }
 

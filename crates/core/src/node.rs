@@ -136,6 +136,56 @@ impl RlnRelayNode {
         Ok(index)
     }
 
+    /// Applies a burst of consecutive `MemberRegistered` events in one
+    /// batched tree update (`O(n + depth)` hashes via
+    /// [`SyncedPathTree::apply_append_batch`] instead of `O(n · depth)`
+    /// for per-event [`RlnRelayNode::apply_registration`]), splitting
+    /// around our own commitment so the own-path snapshot still happens.
+    ///
+    /// [`SyncedPathTree::apply_append_batch`]: wakurln_crypto::merkle::SyncedPathTree::apply_append_batch
+    ///
+    /// The accepted-roots window advances **once per burst** (only the
+    /// post-burst root enters the window), whereas per-event application
+    /// pushes every intermediate root. This is sound as long as all peers
+    /// sync registration bursts at the same granularity — here, per mined
+    /// block — since proofs are only ever generated against roots some
+    /// peer's tree exposed after a sync. Mixing per-event and batched
+    /// sync across peers would make mid-burst roots unverifiable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MerkleError::TreeFull`] **without modifying the tree or
+    /// the root window** when the burst exceeds remaining capacity.
+    pub fn apply_registrations(&mut self, commitments: &[Fr]) -> Result<(), MerkleError> {
+        if commitments.is_empty() {
+            return Ok(());
+        }
+        // atomicity: reject the whole burst up front, so a failure cannot
+        // leave the tree advanced but the root window stale
+        let remaining = (1u64 << self.tree.depth()) - self.tree.len();
+        if commitments.len() as u64 > remaining {
+            return Err(MerkleError::TreeFull);
+        }
+        let own_pos = match self.identity {
+            Some(id) if self.tree.own_index().is_none() => {
+                commitments.iter().position(|c| *c == id.commitment())
+            }
+            _ => None,
+        };
+        match own_pos {
+            Some(pos) => {
+                self.tree.apply_append_batch(&commitments[..pos])?;
+                self.tree.register_own(commitments[pos])?;
+                self.tree.apply_append_batch(&commitments[pos + 1..])?;
+            }
+            None => {
+                self.tree.apply_append_batch(commitments)?;
+            }
+        }
+        self.relay.validator_mut().push_root(self.tree.root());
+        Ok(())
+    }
+
     /// Applies a `MemberSlashed` contract event, authenticated by the
     /// witness path distributed with the event.
     ///
@@ -282,5 +332,71 @@ impl Node for RlnRelayNode {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Rpc>, token: u64) {
         self.relay.on_timer(ctx, token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::CostModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wakurln_crypto::merkle::zero_hashes;
+    use wakurln_gossipsub::{GossipsubConfig, ScoringConfig};
+    use wakurln_zksnark::{RlnCircuit, SimSnark};
+
+    fn node(depth: usize) -> RlnRelayNode {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (pk, vk) = SimSnark::setup(RlnCircuit::new(depth), &mut rng);
+        let validator = RlnValidator::new(
+            vk,
+            EpochScheme::default(),
+            zero_hashes()[depth],
+            CostModel::default(),
+        );
+        RlnRelayNode::new(
+            vec![],
+            validator,
+            pk,
+            depth,
+            GossipsubConfig::default(),
+            ScoringConfig::default(),
+        )
+    }
+
+    #[test]
+    fn apply_registrations_matches_per_event_application() {
+        let commitments: Vec<Fr> = (0..7u64).map(|v| Fr::from_u64(v + 1000)).collect();
+        let mut batched = node(4);
+        batched.apply_registrations(&commitments).unwrap();
+        let mut sequential = node(4);
+        for c in &commitments {
+            sequential.apply_registration(*c).unwrap();
+        }
+        assert_eq!(batched.membership_root(), sequential.membership_root());
+    }
+
+    #[test]
+    fn oversized_registration_burst_is_rejected_atomically() {
+        // depth 2 → capacity 4; a 5-commitment burst must fail without
+        // touching the tree or the validator's root window, even when it
+        // contains our own commitment past the capacity boundary
+        let mut n = node(2);
+        let id = Identity::from_secret(Fr::from_u64(9));
+        n.set_identity(id);
+        let mut burst: Vec<Fr> = (0..4u64).map(|v| Fr::from_u64(v + 1)).collect();
+        burst.push(id.commitment());
+        let root_before = n.membership_root();
+        let window_root_before = n.validator().current_root();
+        assert_eq!(
+            n.apply_registrations(&burst),
+            Err(wakurln_crypto::merkle::MerkleError::TreeFull)
+        );
+        assert_eq!(n.membership_root(), root_before);
+        assert_eq!(n.validator().current_root(), window_root_before);
+        assert!(!n.is_member(), "own registration must not have landed");
+        // the tree is still usable afterwards
+        n.apply_registrations(&burst[..4]).unwrap();
+        assert_ne!(n.membership_root(), root_before);
     }
 }

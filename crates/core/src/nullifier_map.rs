@@ -52,7 +52,9 @@ impl NullifierMap {
                 NullifierOutcome::Fresh
             }
             Some(prior) if *prior == share => NullifierOutcome::DuplicateMessage,
-            Some(prior) => NullifierOutcome::DoubleSignal { prior_share: *prior },
+            Some(prior) => NullifierOutcome::DoubleSignal {
+                prior_share: *prior,
+            },
         }
     }
 
@@ -108,7 +110,9 @@ mod tests {
         );
         assert_eq!(
             map.insert(1, phi, share(3, 4)),
-            NullifierOutcome::DoubleSignal { prior_share: share(1, 2) }
+            NullifierOutcome::DoubleSignal {
+                prior_share: share(1, 2)
+            }
         );
     }
 

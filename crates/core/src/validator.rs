@@ -179,14 +179,53 @@ impl RlnValidator {
     /// direct use by tests and benchmarks; gossipsub goes through the
     /// [`Validator`] impl.
     pub fn validate_wire(&mut self, now_ms: u64, wire: &WireSignal) -> ValidationResult {
+        let proof_ok = self.check_stateless(wire);
+        self.finish_validation(now_ms, wire, proof_ok)
+    }
+
+    /// Validates a drained queue of wire signals in one call: the
+    /// stateless stage (zkSNARK proof + root window + share binding) fans
+    /// out across worker threads via [`SimSnark::verify_batch`]-style
+    /// parallelism, then the stateful stage (epoch window, nullifier map,
+    /// double-signal analysis) runs in queue order. Results are identical
+    /// to calling [`RlnValidator::validate_wire`] per message in order.
+    ///
+    /// [`SimSnark::verify_batch`]: wakurln_zksnark::SimSnark::verify_batch
+    pub fn validate_wire_batch(
+        &mut self,
+        now_ms: u64,
+        wires: &[WireSignal],
+    ) -> Vec<ValidationResult> {
+        let validator = &*self;
+        let proof_oks =
+            wakurln_zksnark::parallel::par_map(wires, 2, |wire| validator.check_stateless(wire));
+        wires
+            .iter()
+            .zip(proof_oks)
+            .map(|(wire, proof_ok)| self.finish_validation(now_ms, wire, proof_ok))
+            .collect()
+    }
+
+    /// Stage 1 — stateless checks: the proof root is in the accepted
+    /// window and the signal (share binding + zkSNARK proof) verifies.
+    fn check_stateless(&self, wire: &WireSignal) -> bool {
+        self.accepted_roots.contains(&wire.signal.root)
+            && verify_signal(&self.verifying_key, wire.signal.root, &wire.signal)
+                == SignalValidity::Valid
+    }
+
+    /// Stage 2 — stateful checks (epoch window, nullifier map) plus cost
+    /// and statistics accounting for the whole pipeline.
+    fn finish_validation(
+        &mut self,
+        now_ms: u64,
+        wire: &WireSignal,
+        proof_ok: bool,
+    ) -> ValidationResult {
         let mut cost = 0;
 
         // 1. proof verification (root must be one we accept)
         cost += self.cost.verify_proof_micros;
-        let known_root = self.accepted_roots.contains(&wire.signal.root);
-        let proof_ok = known_root
-            && verify_signal(&self.verifying_key, wire.signal.root, &wire.signal)
-                == SignalValidity::Valid;
         if !proof_ok {
             self.stats.invalid_proof += 1;
             self.last_cost = cost;
@@ -237,8 +276,7 @@ impl RlnValidator {
                             });
                         }
                     }
-                    DoubleSignalOutcome::Duplicate
-                    | DoubleSignalOutcome::InconsistentShares => {
+                    DoubleSignalOutcome::Duplicate | DoubleSignalOutcome::InconsistentShares => {
                         // cannot happen for proof-verified signals: the
                         // circuit pins y to x, and distinct shares imply
                         // distinct x
@@ -299,7 +337,15 @@ mod tests {
         let index = group.register(id.commitment()).unwrap();
         let scheme = EpochScheme::new(10, 20_000); // Thr = 2
         let validator = RlnValidator::new(vk, scheme, group.root(), CostModel::default());
-        Fixture { validator, group, id, index, pk, rng, scheme }
+        Fixture {
+            validator,
+            group,
+            id,
+            index,
+            pk,
+            rng,
+            scheme,
+        }
     }
 
     fn wire_at(f: &mut Fixture, now_ms: u64, msg: &[u8]) -> WireSignal {
@@ -321,7 +367,10 @@ mod tests {
     fn honest_message_accepted() {
         let mut f = fixture();
         let wire = wire_at(&mut f, 1000, b"hi");
-        assert_eq!(f.validator.validate_wire(1000, &wire), ValidationResult::Accept);
+        assert_eq!(
+            f.validator.validate_wire(1000, &wire),
+            ValidationResult::Accept
+        );
         assert_eq!(f.validator.stats().valid, 1);
         // cost charged ≈ verification cost
         assert!(f.validator.last_cost_micros() >= 30_000);
@@ -332,7 +381,10 @@ mod tests {
         let mut f = fixture();
         let mut wire = wire_at(&mut f, 1000, b"hi");
         wire.signal.proof.binding[0] ^= 1;
-        assert_eq!(f.validator.validate_wire(1000, &wire), ValidationResult::Reject);
+        assert_eq!(
+            f.validator.validate_wire(1000, &wire),
+            ValidationResult::Reject
+        );
         assert_eq!(f.validator.stats().invalid_proof, 1);
     }
 
@@ -355,7 +407,7 @@ mod tests {
     fn replayed_old_epoch_ignored() {
         let mut f = fixture();
         let wire = wire_at(&mut f, 1000, b"hi"); // epoch at t=1s
-        // 50 s later (Thr = 2 epochs = 20 s): out of window
+                                                 // 50 s later (Thr = 2 epochs = 20 s): out of window
         assert_eq!(
             f.validator.validate_wire(51_000, &wire),
             ValidationResult::Ignore
@@ -367,7 +419,10 @@ mod tests {
     fn future_epoch_ignored() {
         let mut f = fixture();
         let wire = wire_at(&mut f, 100_000, b"hi");
-        assert_eq!(f.validator.validate_wire(1_000, &wire), ValidationResult::Ignore);
+        assert_eq!(
+            f.validator.validate_wire(1_000, &wire),
+            ValidationResult::Ignore
+        );
     }
 
     #[test]
@@ -375,8 +430,14 @@ mod tests {
         let mut f = fixture();
         let w1 = wire_at(&mut f, 1000, b"first");
         let w2 = wire_at(&mut f, 1500, b"second"); // same epoch (T = 10 s)
-        assert_eq!(f.validator.validate_wire(1000, &w1), ValidationResult::Accept);
-        assert_eq!(f.validator.validate_wire(1500, &w2), ValidationResult::Reject);
+        assert_eq!(
+            f.validator.validate_wire(1000, &w1),
+            ValidationResult::Accept
+        );
+        assert_eq!(
+            f.validator.validate_wire(1500, &w2),
+            ValidationResult::Reject
+        );
         assert_eq!(f.validator.stats().spam_detected, 1);
         let detections = f.validator.take_detections();
         assert_eq!(detections.len(), 1);
@@ -387,11 +448,47 @@ mod tests {
     }
 
     #[test]
+    fn batch_validation_matches_sequential() {
+        // two identically-configured validators; one drains the queue in
+        // a batch, the other message by message — outcomes and stats must
+        // agree, including the double-signal pair inside the batch
+        let mut f = fixture();
+        let wires = vec![
+            wire_at(&mut f, 1_000, b"first"),
+            wire_at(&mut f, 11_000, b"next-epoch"),
+            {
+                let mut tampered = wire_at(&mut f, 1_200, b"bad");
+                tampered.signal.proof.binding[0] ^= 1;
+                tampered
+            },
+            wire_at(&mut f, 1_500, b"double-signal"), // same epoch as "first"
+            wire_at(&mut f, 51_000, b"stale"),        // far-future epoch
+        ];
+        let mut sequential = f.validator.clone();
+        let seq_results: Vec<ValidationResult> = wires
+            .iter()
+            .map(|w| sequential.validate_wire(11_000, w))
+            .collect();
+        let batch_results = f.validator.validate_wire_batch(11_000, &wires);
+        assert_eq!(batch_results, seq_results);
+        assert_eq!(f.validator.stats(), sequential.stats());
+        assert_eq!(f.validator.detections(), sequential.detections());
+        assert_eq!(f.validator.stats().spam_detected, 1);
+        assert_eq!(f.validator.stats().invalid_proof, 1);
+    }
+
+    #[test]
     fn identical_message_is_duplicate_not_spam() {
         let mut f = fixture();
         let w1 = wire_at(&mut f, 1000, b"same");
-        assert_eq!(f.validator.validate_wire(1000, &w1), ValidationResult::Accept);
-        assert_eq!(f.validator.validate_wire(1200, &w1), ValidationResult::Ignore);
+        assert_eq!(
+            f.validator.validate_wire(1000, &w1),
+            ValidationResult::Accept
+        );
+        assert_eq!(
+            f.validator.validate_wire(1200, &w1),
+            ValidationResult::Ignore
+        );
         assert_eq!(f.validator.stats().duplicates, 1);
         assert_eq!(f.validator.stats().spam_detected, 0);
     }
@@ -401,8 +498,14 @@ mod tests {
         let mut f = fixture();
         let w1 = wire_at(&mut f, 1_000, b"a");
         let w2 = wire_at(&mut f, 11_000, b"b"); // next epoch
-        assert_eq!(f.validator.validate_wire(1_000, &w1), ValidationResult::Accept);
-        assert_eq!(f.validator.validate_wire(11_000, &w2), ValidationResult::Accept);
+        assert_eq!(
+            f.validator.validate_wire(1_000, &w1),
+            ValidationResult::Accept
+        );
+        assert_eq!(
+            f.validator.validate_wire(11_000, &w2),
+            ValidationResult::Accept
+        );
         assert_eq!(f.validator.stats().valid, 2);
     }
 
@@ -415,7 +518,10 @@ mod tests {
         f.group.register(newcomer.commitment()).unwrap();
         f.validator.push_root(f.group.root());
         // the proof against the *old* root still validates (window)
-        assert_eq!(f.validator.validate_wire(1000, &wire), ValidationResult::Accept);
+        assert_eq!(
+            f.validator.validate_wire(1000, &wire),
+            ValidationResult::Accept
+        );
         assert_eq!(f.validator.current_root(), f.group.root());
     }
 

@@ -273,12 +273,11 @@ impl Fr {
 
     /// Returns the canonical (non-Montgomery) little-endian limbs.
     pub fn to_repr(&self) -> [u64; 4] {
-        mont_reduce(&[
-            self.0[0], self.0[1], self.0[2], self.0[3], 0, 0, 0, 0,
-        ])
+        mont_reduce(&[self.0[0], self.0[1], self.0[2], self.0[3], 0, 0, 0, 0])
     }
 
     /// `true` iff this is the additive identity.
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.0 == [0; 4]
     }
@@ -294,11 +293,13 @@ impl Fr {
     }
 
     /// Doubles the element.
+    #[inline]
     pub fn double(&self) -> Fr {
         *self + *self
     }
 
     /// Squares the element.
+    #[inline]
     pub fn square(&self) -> Fr {
         Fr(mont_mul(&self.0, &self.0))
     }
@@ -337,6 +338,7 @@ impl Fr {
 }
 
 /// Schoolbook 256×256→512-bit multiply followed by Montgomery reduction.
+#[inline]
 fn mont_mul(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
     let mut t = [0u64; 8];
     for i in 0..4 {
@@ -353,6 +355,7 @@ fn mont_mul(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
 
 /// Montgomery reduction of a 512-bit value: returns `t · R^{-1} mod r`,
 /// fully reduced.
+#[inline]
 fn mont_reduce(t: &[u64; 8]) -> [u64; 4] {
     let mut r = *t;
     let mut carry2 = 0u64;
@@ -380,6 +383,8 @@ fn mont_reduce(t: &[u64; 8]) -> [u64; 4] {
 
 impl Add for Fr {
     type Output = Fr;
+    #[inline]
+    #[allow(clippy::needless_range_loop)]
     fn add(self, rhs: Fr) -> Fr {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
@@ -399,6 +404,8 @@ impl Add for Fr {
 
 impl Sub for Fr {
     type Output = Fr;
+    #[inline]
+    #[allow(clippy::needless_range_loop)]
     fn sub(self, rhs: Fr) -> Fr {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
@@ -428,22 +435,26 @@ impl Neg for Fr {
 
 impl Mul for Fr {
     type Output = Fr;
+    #[inline]
     fn mul(self, rhs: Fr) -> Fr {
         Fr(mont_mul(&self.0, &rhs.0))
     }
 }
 
 impl AddAssign for Fr {
+    #[inline]
     fn add_assign(&mut self, rhs: Fr) {
         *self = *self + rhs;
     }
 }
 impl SubAssign for Fr {
+    #[inline]
     fn sub_assign(&mut self, rhs: Fr) {
         *self = *self - rhs;
     }
 }
 impl MulAssign for Fr {
+    #[inline]
     fn mul_assign(&mut self, rhs: Fr) {
         *self = *self * rhs;
     }
@@ -565,8 +576,7 @@ impl<'de> serde::Deserialize<'de> for Fr {
                 }
                 let mut b = [0u8; 32];
                 b.copy_from_slice(v);
-                Fr::from_bytes_le(&b)
-                    .ok_or_else(|| E::custom("field element not fully reduced"))
+                Fr::from_bytes_le(&b).ok_or_else(|| E::custom("field element not fully reduced"))
             }
             fn visit_seq<A: serde::de::SeqAccess<'de>>(self, mut seq: A) -> Result<Fr, A::Error> {
                 let mut b = [0u8; 32];

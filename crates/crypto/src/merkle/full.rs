@@ -40,6 +40,7 @@ impl FullMerkleTree {
     ///
     /// Returns [`MerkleError::UnsupportedDepth`] if `depth` is 0 or exceeds
     /// [`super::MAX_DEPTH`].
+    #[allow(clippy::needless_range_loop)]
     pub fn new(depth: usize) -> Result<FullMerkleTree, MerkleError> {
         validate_depth(depth)?;
         let zeros = zero_hashes();
@@ -118,6 +119,58 @@ impl FullMerkleTree {
         let index = self.next_index;
         self.set(index, leaf)?;
         Ok(index)
+    }
+
+    /// Appends a batch of leaves starting at the next free index,
+    /// recomputing each ancestor level **once per batch** instead of once
+    /// per leaf — `O(n + depth)` node hashes versus `O(n · depth)` for
+    /// repeated [`FullMerkleTree::append`]. Returns the index of the first
+    /// appended leaf (the current `next_index` for an empty batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MerkleError::TreeFull`] (without modifying the tree) when
+    /// the batch does not fit in the remaining capacity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wakurln_crypto::{field::Fr, merkle::FullMerkleTree};
+    ///
+    /// let leaves: Vec<Fr> = (0..100u64).map(Fr::from_u64).collect();
+    /// let mut batched = FullMerkleTree::new(10)?;
+    /// let mut sequential = FullMerkleTree::new(10)?;
+    /// batched.append_batch(&leaves)?;
+    /// for leaf in &leaves {
+    ///     sequential.append(*leaf)?;
+    /// }
+    /// assert_eq!(batched.root(), sequential.root());
+    /// # Ok::<(), wakurln_crypto::merkle::MerkleError>(())
+    /// ```
+    pub fn append_batch(&mut self, leaves: &[Fr]) -> Result<u64, MerkleError> {
+        let start = self.next_index;
+        if leaves.is_empty() {
+            return Ok(start);
+        }
+        if leaves.len() as u64 > self.capacity() - start {
+            return Err(MerkleError::TreeFull);
+        }
+        let s = start as usize;
+        self.levels[0][s..s + leaves.len()].copy_from_slice(leaves);
+        // recompute each level once over the span the batch dirtied
+        let mut lo = s;
+        let mut hi = s + leaves.len() - 1;
+        for l in 0..self.depth {
+            lo >>= 1;
+            hi >>= 1;
+            for parent in lo..=hi {
+                let left = self.levels[l][parent << 1];
+                let right = self.levels[l][(parent << 1) | 1];
+                self.levels[l + 1][parent] = node_hash(left, right);
+            }
+        }
+        self.next_index = start + leaves.len() as u64;
+        Ok(start)
     }
 
     /// Clears the leaf at `index` back to the empty value (member deletion).
@@ -205,7 +258,10 @@ mod tests {
         let mut t = FullMerkleTree::new(3).unwrap();
         assert!(matches!(
             t.set(8, Fr::ONE),
-            Err(MerkleError::IndexOutOfRange { index: 8, capacity: 8 })
+            Err(MerkleError::IndexOutOfRange {
+                index: 8,
+                capacity: 8
+            })
         ));
         assert!(t.proof(100).is_err());
         assert!(t.leaf(100).is_err());

@@ -30,7 +30,34 @@
 
 use crate::field::Fr;
 use crate::sha256::Sha256;
+use std::cell::Cell;
 use std::sync::OnceLock;
+
+thread_local! {
+    /// Number of Poseidon permutations executed on this thread — the unit
+    /// the batched-Merkle experiments count ("hash invocations").
+    static PERMUTATION_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Permutations executed on this thread since process start (monotonic).
+///
+/// Diff two readings around a workload to count its hash invocations:
+///
+/// ```
+/// use wakurln_crypto::{field::Fr, poseidon};
+///
+/// let before = poseidon::permutation_count();
+/// poseidon::hash2(Fr::ONE, Fr::ZERO);
+/// assert_eq!(poseidon::permutation_count() - before, 1);
+/// ```
+pub fn permutation_count() -> u64 {
+    PERMUTATION_COUNT.with(|c| c.get())
+}
+
+#[inline]
+fn count_permutation() {
+    PERMUTATION_COUNT.with(|c| c.set(c.get() + 1));
+}
 
 /// Number of full rounds (half applied before, half after the partial rounds).
 pub const FULL_ROUNDS: usize = 8;
@@ -123,6 +150,362 @@ fn params_cache(t: usize) -> &'static PoseidonParams {
     CACHE[t].get_or_init(|| PoseidonParams::generate(t))
 }
 
+fn fast_params_cache(t: usize) -> &'static FastPoseidonParams {
+    static CACHE: [OnceLock<FastPoseidonParams>; MAX_WIDTH + 1] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    CACHE[t].get_or_init(|| FastPoseidonParams::from_reference(params_cache(t)))
+}
+
+/// Returns the cached fast-path parameter set for width `t`.
+///
+/// # Panics
+///
+/// Panics if `t` is outside the supported range.
+pub fn fast_params(t: usize) -> &'static FastPoseidonParams {
+    assert!(
+        (MIN_WIDTH..=MAX_WIDTH).contains(&t),
+        "unsupported poseidon width {t}"
+    );
+    fast_params_cache(t)
+}
+
+// ---------------------------------------------------------------------------
+// Fast path: flat parameters + sparse partial-round matrices
+// ---------------------------------------------------------------------------
+
+/// The linear layer applied by one partial round on the fast path.
+#[derive(Clone, Debug)]
+enum PartialLayer {
+    /// Sparse factor `M''`: identity except the first row (`row0`, `t`
+    /// entries) and the first column below the diagonal (`col0`, `t - 1`
+    /// entries). Applying it costs one `t`-term dot product for lane 0
+    /// plus `t - 1` scalar multiply-adds — versus `t²` multiplies for the
+    /// dense MDS.
+    Sparse { row0: Box<[Fr]>, col0: Box<[Fr]> },
+    /// Dense `t × t` fallback (always used by the last partial round,
+    /// which carries the accumulated dense factor).
+    Dense(Box<[Fr]>),
+}
+
+/// Precomputed fast-path parameters: flat contiguous arrays plus the
+/// sparse partial-round factorization.
+///
+/// Built once per width from the reference [`PoseidonParams`] and cached;
+/// [`permute`] and the fixed-arity hash helpers run on this
+/// representation. Equivalence with the reference [`permute_with`] is
+/// guaranteed by construction (the factorization is an exact operator
+/// identity) and enforced by property tests.
+#[derive(Clone, Debug)]
+pub struct FastPoseidonParams {
+    t: usize,
+    rounds_p: usize,
+    /// Constants for the 8 full rounds, flat row-major (`8 × t`); the
+    /// post-partial rounds' constants absorb the adjustments pushed out of
+    /// the partial rounds.
+    full_rc: Box<[Fr]>,
+    /// One equivalent pre-S-box constant per partial round (lane 0 only).
+    partial_rc0: Box<[Fr]>,
+    /// Linear layer per partial round.
+    partial_layers: Box<[PartialLayer]>,
+    /// Dense MDS for the full rounds, flat row-major (`t × t`).
+    mds_flat: Box<[Fr]>,
+}
+
+impl FastPoseidonParams {
+    /// Derives the fast representation from reference parameters.
+    ///
+    /// The transformation (standard "optimized Poseidon" partial-round
+    /// rewrite) is an exact operator identity:
+    ///
+    /// 1. Each partial round's dense matrix `Mᵣ` factors as `M′ · M″`
+    ///    with `M″` sparse and `M′ = diag(1, D)`; `M′` commutes with the
+    ///    lane-0 S-box, so it is absorbed into the *next* round's matrix
+    ///    (`M·M′`), whose constants are pulled back through `M′⁻¹`.
+    /// 2. Each partial round's constant vector splits into its lane-0
+    ///    component (kept, added right before the S-box) and the rest,
+    ///    which commutes with the S-box and is pushed through the round's
+    ///    linear layer into the next round's constants.
+    pub fn from_reference(params: &PoseidonParams) -> FastPoseidonParams {
+        let t = params.t;
+        let rounds_p = params.rounds_p;
+        let half = FULL_ROUNDS / 2;
+        let total = params.total_rounds();
+
+        // round constants as per-round vectors
+        let mut c: Vec<Vec<Fr>> = (0..total)
+            .map(|r| params.round_constants[r * t..(r + 1) * t].to_vec())
+            .collect();
+
+        let m: Vec<Vec<Fr>> = params.mds.clone();
+        let mut cur = m.clone();
+        let mut partial_layers = Vec::with_capacity(rounds_p);
+        let mut partial_rc0 = Vec::with_capacity(rounds_p);
+
+        for k in 0..rounds_p {
+            let r = half + k;
+            partial_rc0.push(c[r][0]);
+            let mut rest = c[r].clone();
+            rest[0] = Fr::ZERO;
+
+            let is_last = k == rounds_p - 1;
+            let factored = if is_last { None } else { factor_sparse(&cur) };
+            match factored {
+                Some((d, d_inv, ms_row0, ms_col0)) => {
+                    // push `rest` through M'' into the next round's
+                    // constants, which are first pulled back through M'⁻¹
+                    let ms_rest = apply_sparse_vec(&ms_row0, &ms_col0, &rest);
+                    let mut next = c[r + 1].clone();
+                    // M'⁻¹ = diag(1, D⁻¹)
+                    let tail: Vec<Fr> = (1..t)
+                        .map(|i| {
+                            (1..t).fold(Fr::ZERO, |acc, j| {
+                                acc + d_inv[(i - 1) * (t - 1) + (j - 1)] * next[j]
+                            })
+                        })
+                        .collect();
+                    next[1..].copy_from_slice(&tail);
+                    for (n, p) in next.iter_mut().zip(ms_rest.iter()) {
+                        *n += *p;
+                    }
+                    c[r + 1] = next;
+                    partial_layers.push(PartialLayer::Sparse {
+                        row0: ms_row0.into_boxed_slice(),
+                        col0: ms_col0.into_boxed_slice(),
+                    });
+                    // absorb M' = diag(1, D) into the next round's matrix
+                    cur = mat_mul_diag_block(&m, &d);
+                }
+                None => {
+                    // dense fallback (always the last partial round):
+                    // push `rest` through the dense matrix
+                    let pushed = mat_vec(&cur, &rest);
+                    for (n, p) in c[r + 1].iter_mut().zip(pushed.iter()) {
+                        *n += *p;
+                    }
+                    partial_layers.push(PartialLayer::Dense(flatten(&cur)));
+                    cur = m.clone();
+                }
+            }
+        }
+
+        // full-round constants: rounds 0..half then half+rounds_p..total
+        let mut full_rc = Vec::with_capacity(FULL_ROUNDS * t);
+        for r in (0..half).chain(half + rounds_p..total) {
+            full_rc.extend_from_slice(&c[r]);
+        }
+
+        FastPoseidonParams {
+            t,
+            rounds_p,
+            full_rc: full_rc.into_boxed_slice(),
+            partial_rc0: partial_rc0.into_boxed_slice(),
+            partial_layers: partial_layers.into_boxed_slice(),
+            mds_flat: flatten(&m),
+        }
+    }
+
+    /// State width.
+    pub fn width(&self) -> usize {
+        self.t
+    }
+
+    /// Number of partial rounds in the schedule.
+    pub fn partial_rounds(&self) -> usize {
+        self.rounds_p
+    }
+
+    /// How many partial rounds run on the sparse path (diagnostics; the
+    /// last partial round is always dense by construction).
+    pub fn sparse_rounds(&self) -> usize {
+        self.partial_layers
+            .iter()
+            .filter(|l| matches!(l, PartialLayer::Sparse { .. }))
+            .count()
+    }
+}
+
+fn flatten(m: &[Vec<Fr>]) -> Box<[Fr]> {
+    m.iter().flatten().copied().collect()
+}
+
+/// `M · diag(1, D)`: scales/mixes the trailing columns of `M` by `D`.
+fn mat_mul_diag_block(m: &[Vec<Fr>], d: &[Fr]) -> Vec<Vec<Fr>> {
+    let t = m.len();
+    let n = t - 1;
+    let mut out = vec![vec![Fr::ZERO; t]; t];
+    for i in 0..t {
+        out[i][0] = m[i][0];
+        for j in 1..t {
+            let mut acc = Fr::ZERO;
+            for k in 1..t {
+                acc += m[i][k] * d[(k - 1) * n + (j - 1)];
+            }
+            out[i][j] = acc;
+        }
+    }
+    out
+}
+
+fn mat_vec(m: &[Vec<Fr>], v: &[Fr]) -> Vec<Fr> {
+    m.iter()
+        .map(|row| {
+            row.iter()
+                .zip(v.iter())
+                .fold(Fr::ZERO, |acc, (a, b)| acc + *a * *b)
+        })
+        .collect()
+}
+
+/// Applies the sparse factor `M''` to a vector.
+fn apply_sparse_vec(row0: &[Fr], col0: &[Fr], v: &[Fr]) -> Vec<Fr> {
+    let t = row0.len();
+    let mut out = vec![Fr::ZERO; t];
+    out[0] = row0
+        .iter()
+        .zip(v.iter())
+        .fold(Fr::ZERO, |acc, (a, b)| acc + *a * *b);
+    for i in 1..t {
+        out[i] = v[i] + col0[i - 1] * v[0];
+    }
+    out
+}
+
+/// Factors `cur = diag(1, D) · M''` with `M''` sparse.
+///
+/// Writing `cur = [[m00, B], [C, D]]`, the factors are
+/// `M'' = [[m00, B], [D⁻¹C, I]]` and `M' = diag(1, D)`. Returns
+/// `(D, D⁻¹, row0 = (m00, B), col0 = D⁻¹C)`, or `None` when `D` is
+/// singular (then the caller falls back to the dense layer).
+#[allow(clippy::type_complexity)]
+fn factor_sparse(cur: &[Vec<Fr>]) -> Option<(Vec<Fr>, Vec<Fr>, Vec<Fr>, Vec<Fr>)> {
+    let t = cur.len();
+    let n = t - 1;
+    let mut d = vec![Fr::ZERO; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            d[i * n + j] = cur[i + 1][j + 1];
+        }
+    }
+    let d_inv = invert_matrix(&d, n)?;
+    let row0: Vec<Fr> = cur[0].clone();
+    let col0: Vec<Fr> = (0..n)
+        .map(|i| (0..n).fold(Fr::ZERO, |acc, j| acc + d_inv[i * n + j] * cur[j + 1][0]))
+        .collect();
+    Some((d, d_inv, row0, col0))
+}
+
+/// Gauss–Jordan inversion of an `n × n` matrix (row-major flat storage).
+fn invert_matrix(m: &[Fr], n: usize) -> Option<Vec<Fr>> {
+    let mut a = m.to_vec();
+    let mut inv = vec![Fr::ZERO; n * n];
+    for i in 0..n {
+        inv[i * n + i] = Fr::ONE;
+    }
+    for col in 0..n {
+        let pivot_row = (col..n).find(|&r| !a[r * n + col].is_zero())?;
+        if pivot_row != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot_row * n + j);
+                inv.swap(col * n + j, pivot_row * n + j);
+            }
+        }
+        let pivot_inv = a[col * n + col].inverse()?;
+        for j in 0..n {
+            a[col * n + j] *= pivot_inv;
+            inv[col * n + j] *= pivot_inv;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = a[row * n + col];
+            if factor.is_zero() {
+                continue;
+            }
+            for j in 0..n {
+                let av = a[col * n + j];
+                let iv = inv[col * n + j];
+                a[row * n + j] -= factor * av;
+                inv[row * n + j] -= factor * iv;
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Applies the Poseidon permutation on the fast path for a fixed width.
+///
+/// Exactly equivalent to the reference [`permute_with`] (property-tested);
+/// runs on flat arrays with the sparse partial-round schedule and no heap
+/// allocation.
+#[inline]
+pub fn permute_fast<const T: usize>(fp: &FastPoseidonParams, state: &mut [Fr; T]) {
+    assert_eq!(T, fp.t, "state width mismatch");
+    count_permutation();
+    let half = FULL_ROUNDS / 2;
+
+    // first half of the full rounds
+    for r in 0..half {
+        full_round::<T>(fp, r, state);
+    }
+
+    // partial rounds: one lane-0 constant, lane-0 S-box, sparse mix
+    for (p, layer) in fp.partial_layers.iter().enumerate() {
+        state[0] += fp.partial_rc0[p];
+        state[0] = sbox(state[0]);
+        match layer {
+            PartialLayer::Sparse { row0, col0 } => {
+                let s0 = state[0];
+                let mut new0 = row0[0] * s0;
+                for i in 1..T {
+                    new0 += row0[i] * state[i];
+                }
+                for i in 1..T {
+                    state[i] += col0[i - 1] * s0;
+                }
+                state[0] = new0;
+            }
+            PartialLayer::Dense(m) => {
+                dense_mix::<T>(m, state);
+            }
+        }
+    }
+
+    // second half of the full rounds
+    for r in half..FULL_ROUNDS {
+        full_round::<T>(fp, r, state);
+    }
+}
+
+#[inline]
+fn full_round<const T: usize>(fp: &FastPoseidonParams, r: usize, state: &mut [Fr; T]) {
+    let rc = &fp.full_rc[r * T..(r + 1) * T];
+    for (s, c) in state.iter_mut().zip(rc.iter()) {
+        *s = sbox(*s + *c);
+    }
+    dense_mix::<T>(&fp.mds_flat, state);
+}
+
+#[inline]
+fn dense_mix<const T: usize>(m: &[Fr], state: &mut [Fr; T]) {
+    let mut out = [Fr::ZERO; T];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let row = &m[i * T..(i + 1) * T];
+        let mut acc = row[0] * state[0];
+        for j in 1..T {
+            acc += row[j] * state[j];
+        }
+        *slot = acc;
+    }
+    *state = out;
+}
+
 /// The x⁵ S-box.
 #[inline]
 pub fn sbox(x: Fr) -> Fr {
@@ -131,21 +514,28 @@ pub fn sbox(x: Fr) -> Fr {
     x4 * x
 }
 
-/// Applies the Poseidon permutation in place.
+/// Applies the Poseidon permutation in place (fast path).
 ///
 /// # Panics
 ///
 /// Panics if `state.len()` is not a supported width.
 pub fn permute(state: &mut [Fr]) {
-    let params = params_cache(state.len());
-    permute_with(params, state);
+    match state.len() {
+        2 => permute_fast::<2>(fast_params_cache(2), state.try_into().expect("len checked")),
+        3 => permute_fast::<3>(fast_params_cache(3), state.try_into().expect("len checked")),
+        4 => permute_fast::<4>(fast_params_cache(4), state.try_into().expect("len checked")),
+        5 => permute_fast::<5>(fast_params_cache(5), state.try_into().expect("len checked")),
+        t => panic!("unsupported poseidon width {t}"),
+    }
 }
 
-/// Applies the permutation using explicit parameters (used by the circuit
-/// gadget so that the in-circuit and native computations share one source
-/// of truth).
+/// Applies the permutation using explicit parameters — the reference
+/// implementation (used by the circuit gadget so that the in-circuit and
+/// native computations share one source of truth, and as the ground truth
+/// the fast path is property-tested against).
 pub fn permute_with(params: &PoseidonParams, state: &mut [Fr]) {
     assert_eq!(state.len(), params.t, "state width mismatch");
+    count_permutation();
     let t = params.t;
     let half_full = FULL_ROUNDS / 2;
     let total = params.total_rounds();
@@ -182,7 +572,7 @@ pub fn permute_with(params: &PoseidonParams, state: &mut [Fr]) {
 /// This is RLN's `pk = H(sk)` and `φ = H(a1)`.
 pub fn hash1(a: Fr) -> Fr {
     let mut state = [Fr::ZERO, a];
-    permute(&mut state);
+    permute_fast::<2>(fast_params_cache(2), &mut state);
     state[0]
 }
 
@@ -190,14 +580,14 @@ pub fn hash1(a: Fr) -> Fr {
 /// Merkle node hash and RLN's `a1 = H(sk, ∅)`.
 pub fn hash2(a: Fr, b: Fr) -> Fr {
     let mut state = [Fr::ZERO, a, b];
-    permute(&mut state);
+    permute_fast::<3>(fast_params_cache(3), &mut state);
     state[0]
 }
 
 /// Hashes exactly three field elements (width-4 compression).
 pub fn hash3(a: Fr, b: Fr, c: Fr) -> Fr {
     let mut state = [Fr::ZERO, a, b, c];
-    permute(&mut state);
+    permute_fast::<4>(fast_params_cache(4), &mut state);
     state[0]
 }
 
@@ -212,16 +602,17 @@ pub fn hash3(a: Fr, b: Fr, c: Fr) -> Fr {
 /// assert_ne!(a, b, "length is domain-separated");
 /// ```
 pub fn hash_many(inputs: &[Fr]) -> Fr {
+    let fp = fast_params_cache(3);
     let mut state = [Fr::from_u64(inputs.len() as u64), Fr::ZERO, Fr::ZERO];
     for chunk in inputs.chunks(2) {
         state[1] += chunk[0];
         if let Some(second) = chunk.get(1) {
             state[2] += *second;
         }
-        permute(&mut state);
+        permute_fast::<3>(fp, &mut state);
     }
     if inputs.is_empty() {
-        permute(&mut state);
+        permute_fast::<3>(fp, &mut state);
     }
     state[0]
 }
@@ -333,6 +724,47 @@ mod tests {
         PoseidonParams::generate(9);
     }
 
+    #[test]
+    #[should_panic(expected = "unsupported poseidon width")]
+    fn unsupported_width_panics_on_permute() {
+        let mut state = [Fr::ZERO; 7];
+        permute(&mut state);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn fast_params_use_sparse_rounds() {
+        // all but the last partial round must run on the sparse path
+        for t in MIN_WIDTH..=MAX_WIDTH {
+            let fp = fast_params(t);
+            assert_eq!(fp.width(), t);
+            assert_eq!(fp.sparse_rounds(), PARTIAL_ROUNDS[t] - 1, "width {t}");
+        }
+    }
+
+    #[test]
+    fn fast_matches_reference_on_fixed_states() {
+        for t in MIN_WIDTH..=MAX_WIDTH {
+            let params = params(t);
+            let mut reference: Vec<Fr> = (0..t as u64).map(Fr::from_u64).collect();
+            let mut fast = reference.clone();
+            permute_with(params, &mut reference);
+            permute(&mut fast);
+            assert_eq!(reference, fast, "width {t}");
+        }
+    }
+
+    #[test]
+    fn permutation_counter_increments() {
+        let before = permutation_count();
+        hash1(Fr::ONE);
+        hash2(Fr::ONE, Fr::ZERO);
+        hash3(Fr::ONE, Fr::ZERO, Fr::ONE);
+        let mut state = [Fr::ZERO; 3];
+        permute_with(params(3), &mut state);
+        assert_eq!(permutation_count() - before, 4);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -357,6 +789,22 @@ mod tests {
             permute(&mut s1);
             permute(&mut s2);
             prop_assert_ne!(s1, s2);
+        }
+
+        /// The tentpole equivalence property: the fast permutation equals
+        /// the reference `permute_with` on random states, for every width.
+        #[test]
+        fn prop_fast_permutation_matches_reference(
+            seeds in proptest::collection::vec(any::<[u8; 64]>(), MAX_WIDTH..MAX_WIDTH + 1)
+        ) {
+            let lanes: Vec<Fr> = seeds.iter().map(Fr::from_uniform_bytes).collect();
+            for t in MIN_WIDTH..=MAX_WIDTH {
+                let mut reference = lanes[..t].to_vec();
+                let mut fast = reference.clone();
+                permute_with(params(t), &mut reference);
+                permute(&mut fast);
+                prop_assert_eq!(&reference, &fast, "width {}", t);
+            }
         }
     }
 }

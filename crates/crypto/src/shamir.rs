@@ -95,7 +95,10 @@ impl Polynomial {
 
     /// Creates a polynomial from explicit coefficients (constant term first).
     pub fn from_coeffs(coeffs: Vec<Fr>) -> Polynomial {
-        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "polynomial needs at least one coefficient"
+        );
         Polynomial { coeffs }
     }
 
@@ -220,7 +223,10 @@ mod tests {
         assert_eq!(shares.len(), 5);
         assert_eq!(reconstruct(&shares[0..3]), Some(secret));
         assert_eq!(reconstruct(&shares[2..5]), Some(secret));
-        assert_eq!(reconstruct(&[shares[0], shares[2], shares[4]]), Some(secret));
+        assert_eq!(
+            reconstruct(&[shares[0], shares[2], shares[4]]),
+            Some(secret)
+        );
     }
 
     #[test]
@@ -244,11 +250,7 @@ mod tests {
     #[test]
     fn polynomial_eval_horner() {
         // p(x) = 3 + 2x + x^2
-        let p = Polynomial::from_coeffs(vec![
-            Fr::from_u64(3),
-            Fr::from_u64(2),
-            Fr::from_u64(1),
-        ]);
+        let p = Polynomial::from_coeffs(vec![Fr::from_u64(3), Fr::from_u64(2), Fr::from_u64(1)]);
         assert_eq!(p.eval(Fr::ZERO), Fr::from_u64(3));
         assert_eq!(p.eval(Fr::from_u64(1)), Fr::from_u64(6));
         assert_eq!(p.eval(Fr::from_u64(2)), Fr::from_u64(11));

@@ -3,9 +3,7 @@
 
 use crate::contracts::{BalanceEnv, MembershipContract, OnChainTreeContract, SignalBoardContract};
 use crate::gas::{self, GasMeter};
-use crate::types::{
-    Address, Block, CallData, LoggedEvent, Receipt, Transaction, TxStatus, Wei,
-};
+use crate::types::{Address, Block, CallData, LoggedEvent, Receipt, Transaction, TxStatus, Wei};
 use std::collections::HashMap;
 
 /// Chain configuration.
@@ -52,10 +50,11 @@ pub enum ChainError {
 impl std::fmt::Display for ChainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ChainError::InsufficientBalance { from, balance, needed } => write!(
-                f,
-                "{from} holds {balance} wei but tried to attach {needed}"
-            ),
+            ChainError::InsufficientBalance {
+                from,
+                balance,
+                needed,
+            } => write!(f, "{from} holds {balance} wei but tried to attach {needed}"),
         }
     }
 }
@@ -227,7 +226,10 @@ impl Chain {
     /// (§III: "Upon member update, the membership contract emits update
     /// events by listening to which peers can update their local trees").
     pub fn events_since(&self, cursor: usize) -> (&[LoggedEvent], usize) {
-        (&self.events[cursor.min(self.events.len())..], self.events.len())
+        (
+            &self.events[cursor.min(self.events.len())..],
+            self.events.len(),
+        )
     }
 
     /// All receipts ever produced (flattened).
@@ -256,9 +258,10 @@ impl Chain {
                     .tree_baseline
                     .register(tx.from, tx.value, commitment, &mut meter, &mut events)
                     .map(|_| ()),
-                CallData::TreeRemove { index, secret } => self
-                    .tree_baseline
-                    .remove(tx.from, index, secret, &mut meter, &mut events),
+                CallData::TreeRemove { index, secret } => {
+                    self.tree_baseline
+                        .remove(tx.from, index, secret, &mut meter, &mut events)
+                }
                 CallData::Post { payload } => self
                     .board
                     .post(tx.from, payload, &mut meter, &mut events)
@@ -316,7 +319,13 @@ mod tests {
         let (mut chain, user) = funded_chain();
         let sk = Fr::from_u64(5);
         chain
-            .submit(user, ETHER, CallData::Register { commitment: poseidon::hash1(sk) })
+            .submit(
+                user,
+                ETHER,
+                CallData::Register {
+                    commitment: poseidon::hash1(sk),
+                },
+            )
             .unwrap();
         // not yet mined
         assert_eq!(chain.membership().active_count(), 0);
@@ -337,7 +346,13 @@ mod tests {
         let before = chain.balance_of(user);
         // wrong stake → revert → refund
         chain
-            .submit(user, ETHER / 2, CallData::Register { commitment: Fr::from_u64(1) })
+            .submit(
+                user,
+                ETHER / 2,
+                CallData::Register {
+                    commitment: Fr::from_u64(1),
+                },
+            )
             .unwrap();
         assert_eq!(chain.balance_of(user), before - ETHER / 2);
         let receipts = chain.advance_to(12);
@@ -350,7 +365,13 @@ mod tests {
         let mut chain = Chain::new(ChainConfig::default());
         let poor = Address::from_label("poor");
         let err = chain
-            .submit(poor, ETHER, CallData::Register { commitment: Fr::from_u64(1) })
+            .submit(
+                poor,
+                ETHER,
+                CallData::Register {
+                    commitment: Fr::from_u64(1),
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::InsufficientBalance { .. }));
     }
@@ -362,11 +383,19 @@ mod tests {
         chain.fund(slasher, ETHER);
         let sk = Fr::from_u64(42);
         chain
-            .submit(member, ETHER, CallData::Register { commitment: poseidon::hash1(sk) })
+            .submit(
+                member,
+                ETHER,
+                CallData::Register {
+                    commitment: poseidon::hash1(sk),
+                },
+            )
             .unwrap();
         chain.advance_to(12);
         let slasher_before = chain.balance_of(slasher);
-        chain.submit(slasher, 0, CallData::Slash { secret: sk }).unwrap();
+        chain
+            .submit(slasher, 0, CallData::Slash { secret: sk })
+            .unwrap();
         chain.advance_to(24);
         assert_eq!(chain.membership().active_count(), 0);
         assert_eq!(chain.balance_of(slasher), slasher_before + ETHER / 2);
@@ -390,9 +419,13 @@ mod tests {
         let (mut chain, user) = funded_chain();
         for i in 0..3u64 {
             chain
-                .submit(user, ETHER, CallData::Register {
-                    commitment: Fr::from_u64(100 + i),
-                })
+                .submit(
+                    user,
+                    ETHER,
+                    CallData::Register {
+                        commitment: Fr::from_u64(100 + i),
+                    },
+                )
                 .unwrap();
         }
         chain.advance_to(12);
@@ -406,10 +439,22 @@ mod tests {
     fn gas_comparison_registry_vs_tree() {
         let (mut chain, user) = funded_chain();
         chain
-            .submit(user, ETHER, CallData::Register { commitment: Fr::from_u64(1) })
+            .submit(
+                user,
+                ETHER,
+                CallData::Register {
+                    commitment: Fr::from_u64(1),
+                },
+            )
             .unwrap();
         chain
-            .submit(user, ETHER, CallData::TreeRegister { commitment: Fr::from_u64(1) })
+            .submit(
+                user,
+                ETHER,
+                CallData::TreeRegister {
+                    commitment: Fr::from_u64(1),
+                },
+            )
             .unwrap();
         let receipts = chain.advance_to(12);
         let registry_gas = receipts[0].gas_used;
@@ -424,12 +469,21 @@ mod tests {
     fn board_messages_visible_only_after_mining() {
         let (mut chain, user) = funded_chain();
         chain
-            .submit(user, 0, CallData::Post { payload: b"hello".to_vec() })
+            .submit(
+                user,
+                0,
+                CallData::Post {
+                    payload: b"hello".to_vec(),
+                },
+            )
             .unwrap();
         assert_eq!(chain.board().message_count(), 0);
         chain.advance_to(12);
         assert_eq!(chain.board().message_count(), 1);
         let (events, _) = chain.events_since(0);
-        assert!(matches!(events[0].event, ChainEvent::MessagePosted { id: 0, .. }));
+        assert!(matches!(
+            events[0].event,
+            ChainEvent::MessagePosted { id: 0, .. }
+        ));
     }
 }

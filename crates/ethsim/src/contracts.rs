@@ -238,7 +238,9 @@ impl OnChainTreeContract {
             .map_err(|e| format!("tree-register: {e}"))?;
         self.commitments.push(commitment);
         events.push(ChainEvent::MemberRegistered { index, commitment });
-        events.push(ChainEvent::TreeRootUpdated { root: self.tree.root() });
+        events.push(ChainEvent::TreeRootUpdated {
+            root: self.tree.root(),
+        });
         Ok(index)
     }
 
@@ -370,8 +372,14 @@ mod tests {
         for i in 0..200u64 {
             let mut meter = GasMeter::new();
             let mut events = Vec::new();
-            c.register(Address::from_label("a"), 10, fr(i + 1), &mut meter, &mut events)
-                .unwrap();
+            c.register(
+                Address::from_label("a"),
+                10,
+                fr(i + 1),
+                &mut meter,
+                &mut events,
+            )
+            .unwrap();
             gas_costs.push(meter.used());
         }
         assert!(gas_costs.windows(2).all(|w| w[0] == w[1]), "O(1) gas");
@@ -443,8 +451,14 @@ mod tests {
         let mut events = Vec::new();
         let sk = fr(42);
         let commitment = poseidon::hash1(sk);
-        c.register(Address::from_label("member"), 100, commitment, &mut meter, &mut events)
-            .unwrap();
+        c.register(
+            Address::from_label("member"),
+            100,
+            commitment,
+            &mut meter,
+            &mut events,
+        )
+        .unwrap();
         let slasher = Address::from_label("slasher");
         let idx = c
             .slash(slasher, sk, &mut meter, &mut events, &mut env)
@@ -455,7 +469,11 @@ mod tests {
         assert_eq!(c.active_count(), 0);
         assert!(matches!(
             events.last(),
-            Some(ChainEvent::MemberSlashed { burned: 50, rewarded: 50, .. })
+            Some(ChainEvent::MemberSlashed {
+                burned: 50,
+                rewarded: 50,
+                ..
+            })
         ));
     }
 
@@ -477,8 +495,14 @@ mod tests {
         let mut meter = GasMeter::new();
         let mut events = Vec::new();
         let sk = fr(42);
-        c.register(Address::BURN, 100, poseidon::hash1(sk), &mut meter, &mut events)
-            .unwrap();
+        c.register(
+            Address::BURN,
+            100,
+            poseidon::hash1(sk),
+            &mut meter,
+            &mut events,
+        )
+        .unwrap();
         c.slash(Address::BURN, sk, &mut meter, &mut events, &mut env)
             .unwrap();
         assert!(c
@@ -494,7 +518,9 @@ mod tests {
         let sk = fr(5);
         tree.register(Address::BURN, 10, poseidon::hash1(sk), &mut m, &mut ev)
             .unwrap();
-        assert!(tree.remove(Address::BURN, 0, fr(6), &mut m, &mut ev).is_err());
+        assert!(tree
+            .remove(Address::BURN, 0, fr(6), &mut m, &mut ev)
+            .is_err());
         assert!(tree.remove(Address::BURN, 0, sk, &mut m, &mut ev).is_ok());
     }
 

@@ -5,7 +5,7 @@ use crate::score::PeerScore;
 use crate::types::{MessageCache, MessageId, RawMessage, Rpc, Topic};
 use rand::seq::SliceRandom;
 use std::collections::{BTreeSet, HashMap};
-use wakurln_netsim::{Context, Node, NodeId};
+use wakurln_netsim::{Bytes, Context, Node, NodeId};
 
 /// Heartbeat timer token.
 const TIMER_HEARTBEAT: u64 = 0;
@@ -57,8 +57,8 @@ pub struct Delivery {
     pub id: MessageId,
     /// Topic it arrived on.
     pub topic: Topic,
-    /// Payload.
-    pub data: Vec<u8>,
+    /// Payload (shared with the forwarding path — no copy per delivery).
+    pub data: Bytes,
     /// Simulated arrival time (ms).
     pub at_ms: u64,
 }
@@ -130,9 +130,19 @@ impl<V: Validator> GossipsubNode<V> {
     }
 
     /// Publishes a message to a topic: eager-push to the mesh (or to known
-    /// topic peers while the mesh is still forming).
-    pub fn publish(&mut self, ctx: &mut Context<'_, Rpc>, topic: Topic, data: Vec<u8>) -> MessageId {
-        let msg = RawMessage { topic: topic.clone(), data };
+    /// topic peers while the mesh is still forming). The payload is
+    /// shared ([`Bytes`]) from here on — each forward clones a reference,
+    /// not the bytes.
+    pub fn publish(
+        &mut self,
+        ctx: &mut Context<'_, Rpc>,
+        topic: Topic,
+        data: impl Into<Bytes>,
+    ) -> MessageId {
+        let msg = RawMessage {
+            topic: topic.clone(),
+            data: data.into(),
+        };
         let id = msg.id();
         self.seen.insert(id, ctx.now());
         self.mcache.put(msg.clone());
@@ -468,7 +478,13 @@ mod tests {
     fn build_network(n: usize, seed: u64) -> Net {
         let topic = Topic::new("test");
         let adjacency = topology::random_regular(n, 6, seed);
-        let mut net: Net = Network::new(UniformLatency { min_ms: 10, max_ms: 50 }, seed);
+        let mut net: Net = Network::new(
+            UniformLatency {
+                min_ms: 10,
+                max_ms: 50,
+            },
+            seed,
+        );
         for peers in adjacency {
             let mut node = GossipsubNode::new(
                 GossipsubConfig::default(),
@@ -494,7 +510,10 @@ mod tests {
                 !mesh.is_empty(),
                 "node {i} has an empty mesh after formation"
             );
-            assert!(mesh.len() <= cfg.mesh_n_high + cfg.mesh_n, "node {i} oversized");
+            assert!(
+                mesh.len() <= cfg.mesh_n_high + cfg.mesh_n,
+                "node {i} oversized"
+            );
         }
     }
 
@@ -518,7 +537,10 @@ mod tests {
                 received += 1;
             }
         }
-        assert!(received >= 38, "only {received}/39 subscribers got the message");
+        assert!(
+            received >= 38,
+            "only {received}/39 subscribers got the message"
+        );
     }
 
     #[test]
@@ -579,8 +601,7 @@ mod tests {
     fn rejected_messages_do_not_propagate_and_sink_scores() {
         let topic = Topic::new("test");
         let adjacency = topology::full_mesh(6);
-        let mut net: Network<GossipsubNode<RejectBad>> =
-            Network::new(ConstantLatency(10), 5);
+        let mut net: Network<GossipsubNode<RejectBad>> = Network::new(ConstantLatency(10), 5);
         for peers in adjacency {
             let mut node = GossipsubNode::new(
                 GossipsubConfig::default(),

@@ -51,10 +51,9 @@ impl PeerScore {
         let Some(c) = self.peers.get(&peer) else {
             return 0.0;
         };
-        let p1 = c
-            .heartbeats_in_mesh
-            .min(self.config.time_in_mesh_cap / self.config.time_in_mesh_weight.max(f64::MIN_POSITIVE))
-            * self.config.time_in_mesh_weight;
+        let p1 = c.heartbeats_in_mesh.min(
+            self.config.time_in_mesh_cap / self.config.time_in_mesh_weight.max(f64::MIN_POSITIVE),
+        ) * self.config.time_in_mesh_weight;
         let p1 = p1.min(self.config.time_in_mesh_cap);
         let p2 = c.first_deliveries.min(self.config.first_delivery_cap)
             * self.config.first_delivery_weight;

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use wakurln_netsim::Payload;
+use wakurln_netsim::{Bytes, Payload};
 
 /// A pub/sub topic (peers congregate around topics, §I).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -55,12 +55,15 @@ impl std::fmt::Debug for MessageId {
 /// sender field, signature, or sequence number** — the anonymization
 /// WAKU-RELAY applies to GossipSub messages (§I: "removing personally
 /// identifiable information that binds a message to its owner").
+///
+/// The payload is [`Bytes`]: forwarding the message along the mesh clones
+/// a reference count, not the payload itself.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RawMessage {
     /// Destination topic.
     pub topic: Topic,
     /// Opaque payload (for WAKU-RLN-RELAY: a serialized RLN signal).
-    pub data: Vec<u8>,
+    pub data: Bytes,
 }
 
 impl RawMessage {
@@ -191,7 +194,7 @@ mod tests {
     fn msg(topic: &str, data: &[u8]) -> RawMessage {
         RawMessage {
             topic: Topic::new(topic),
-            data: data.to_vec(),
+            data: data.into(),
         }
     }
 

@@ -1,0 +1,154 @@
+//! Shared immutable payload bytes.
+//!
+//! Gossip protocols forward the same payload to many peers; carrying it
+//! as `Vec<u8>` forces a full copy of the payload on **every** hop (every
+//! `Rpc::Forward` clone, every cache insert, every delivery). [`Bytes`]
+//! is an `Arc`-backed immutable buffer: cloning is a reference-count bump,
+//! and [`Payload::size_bytes`] accounting reads the length without
+//! touching the data.
+
+use crate::sim::Payload;
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte payload.
+///
+/// ```
+/// use wakurln_netsim::Bytes;
+///
+/// let payload = Bytes::from(vec![1u8, 2, 3]);
+/// let forwarded = payload.clone(); // refcount bump, no copy
+/// assert_eq!(payload, forwarded);
+/// assert_eq!(&payload[..], &[1, 2, 3]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v.into())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes(v.into())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Bytes {
+        Bytes(v.as_slice().into())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.0[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.0[..] == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        &self.0[..] == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        &self.0[..] == other.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} B)", self.0.len())
+    }
+}
+
+impl Payload for Bytes {
+    fn size_bytes(&self) -> usize {
+        self.0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![0u8; 1024]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0), "clone must not copy the payload");
+        assert_eq!(a.size_bytes(), 1024);
+    }
+
+    #[test]
+    fn equality_across_shapes() {
+        let b = Bytes::from(b"abc");
+        assert_eq!(b, *b"abc");
+        assert_eq!(b, b"abc");
+        assert_eq!(b, b"abc".to_vec());
+        assert_eq!(b, b"abc"[..]);
+        assert_ne!(b, *b"abd");
+        assert_eq!(b.to_vec(), b"abc");
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let b = Bytes::default();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

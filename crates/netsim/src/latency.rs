@@ -105,7 +105,10 @@ mod tests {
     #[test]
     fn uniform_stays_in_bounds() {
         let mut rng = StdRng::seed_from_u64(2);
-        let m = UniformLatency { min_ms: 10, max_ms: 20 };
+        let m = UniformLatency {
+            min_ms: 10,
+            max_ms: 20,
+        };
         for _ in 0..100 {
             let l = m.sample(&mut rng, NodeId(0), NodeId(1));
             assert!((10..=20).contains(&l));

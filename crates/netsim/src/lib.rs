@@ -6,6 +6,8 @@
 //! reproducible environment (DESIGN.md §2).
 //!
 //! * [`sim`] — event queue, nodes, contexts, deterministic execution,
+//! * [`bytes`] — `Arc`-backed shared payload bytes (clone-free gossip
+//!   forwarding with `O(1)` wire-size accounting),
 //! * [`latency`] — link latency and loss models (and the network-delay
 //!   bound `D` that sizes the protocol's epoch threshold `Thr = D/T`),
 //! * [`topology`] — bootstrap peer-set generators,
@@ -14,11 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod latency;
 pub mod metrics;
 pub mod sim;
 pub mod topology;
 
+pub use bytes::Bytes;
 pub use latency::{ConstantLatency, InternetLatency, LatencyModel, UniformLatency};
 pub use metrics::Metrics;
 pub use sim::{Context, Network, Node, NodeId, Payload};

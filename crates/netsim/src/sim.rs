@@ -46,7 +46,12 @@ pub trait Node {
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
 
     /// Called when a message from `from` is delivered.
-    fn on_message(&mut self, ctx: &mut Context<'_, Self::Message>, from: NodeId, msg: Self::Message);
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Message>,
+        from: NodeId,
+        msg: Self::Message,
+    );
 
     /// Called when a timer set with [`Context::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Message>, token: u64);
@@ -273,7 +278,11 @@ impl<N: Node> Network<N> {
 
     /// Runs an external action against one node *now*, with a full effect
     /// context (e.g. "publish a message at t=5000").
-    pub fn invoke<R>(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Context<'_, N::Message>) -> R) -> R {
+    pub fn invoke<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, &mut Context<'_, N::Message>) -> R,
+    ) -> R {
         self.ensure_started();
         let mut ctx = Context {
             now: self.now,
@@ -370,8 +379,7 @@ impl<N: Node> Network<N> {
                         continue;
                     }
                     self.metrics.count("messages_sent", 1);
-                    self.metrics
-                        .count("bytes_sent", msg.size_bytes() as u64);
+                    self.metrics.count("bytes_sent", msg.size_bytes() as u64);
                     if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
                         self.metrics.count("messages_lost", 1);
                         continue;
@@ -474,7 +482,13 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_outcome() {
         let run = |seed| {
-            let mut net: Network<Flood> = Network::new(UniformLatency { min_ms: 5, max_ms: 50 }, seed);
+            let mut net: Network<Flood> = Network::new(
+                UniformLatency {
+                    min_ms: 5,
+                    max_ms: 50,
+                },
+                seed,
+            );
             for i in 0..8 {
                 net.add_node(Flood {
                     neighbors: vec![NodeId((i + 1) % 8)],
@@ -544,7 +558,11 @@ mod tests {
     fn late_join_gets_started() {
         let mut net = ring(2);
         net.run_until(50);
-        let id = net.add_node(Flood { neighbors: vec![NodeId(0)], seen: false, received_at: None });
+        let id = net.add_node(Flood {
+            neighbors: vec![NodeId(0)],
+            seen: false,
+            received_at: None,
+        });
         net.run_until(100);
         // reachable: sending to it works
         net.invoke(NodeId(0), |_, ctx| ctx.send(id, b"m".to_vec()));

@@ -123,7 +123,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn read_slice(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
-        let end = self.pos.checked_add(len).ok_or(CodecError::LengthOverflow)?;
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(CodecError::LengthOverflow)?;
         if end > self.bytes.len() {
             return Err(CodecError::Truncated);
         }

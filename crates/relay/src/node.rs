@@ -120,7 +120,13 @@ mod tests {
 
     fn network(n: usize, seed: u64) -> Network<WakuRelayNode<AcceptAll>> {
         let adjacency = topology::random_regular(n, 5, seed);
-        let mut net = Network::new(UniformLatency { min_ms: 10, max_ms: 40 }, seed);
+        let mut net = Network::new(
+            UniformLatency {
+                min_ms: 10,
+                max_ms: 40,
+            },
+            seed,
+        );
         for peers in adjacency {
             net.add_node(WakuRelayNode::with_defaults(peers, AcceptAll));
         }
@@ -140,10 +146,9 @@ mod tests {
                 continue;
             }
             let deliveries = net.node(NodeId(i)).waku_deliveries();
-            if deliveries
-                .iter()
-                .any(|(m, _)| m.payload == b"gm, anonymously" && m.content_topic == "/app/1/chat/proto")
-            {
+            if deliveries.iter().any(|(m, _)| {
+                m.payload == b"gm, anonymously" && m.content_topic == "/app/1/chat/proto"
+            }) {
                 got += 1;
             }
         }
@@ -160,7 +165,10 @@ mod tests {
         });
         net.run_until(20_000);
         let deliveries = net.node(NodeId(5)).waku_deliveries();
-        let topics: Vec<&str> = deliveries.iter().map(|(m, _)| m.content_topic.as_str()).collect();
+        let topics: Vec<&str> = deliveries
+            .iter()
+            .map(|(m, _)| m.content_topic.as_str())
+            .collect();
         assert!(topics.contains(&"/app/a"));
         assert!(topics.contains(&"/app/b"));
     }

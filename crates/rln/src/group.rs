@@ -115,6 +115,50 @@ impl RlnGroup {
         Ok(index)
     }
 
+    /// Registers a burst of commitments in one batched tree update
+    /// (`O(n + depth)` hashes via
+    /// [`FullMerkleTree::append_batch`] instead of `O(n · depth)` for
+    /// per-member [`RlnGroup::register`]). Returns the index range
+    /// assigned to the batch.
+    ///
+    /// The whole batch is validated up front and applied atomically:
+    /// duplicates (against the group *or* within the batch) and
+    /// over-capacity batches leave the group untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`GroupError::AlreadyRegistered`] for the first duplicate found.
+    /// * [`GroupError::Merkle`] when the batch exceeds capacity.
+    pub fn register_batch(
+        &mut self,
+        commitments: &[Fr],
+    ) -> Result<std::ops::Range<u64>, GroupError> {
+        let mut batch_keys = Vec::with_capacity(commitments.len());
+        for commitment in commitments {
+            let key = commitment.to_bytes_le();
+            if self.index_of.contains_key(&key) {
+                return Err(GroupError::AlreadyRegistered(*commitment));
+            }
+            batch_keys.push(key);
+        }
+        batch_keys.sort_unstable();
+        if batch_keys.windows(2).any(|w| w[0] == w[1]) {
+            let dup = commitments
+                .iter()
+                .enumerate()
+                .find(|(i, c)| commitments[..*i].contains(c))
+                .map(|(_, c)| *c)
+                .expect("duplicate exists");
+            return Err(GroupError::AlreadyRegistered(dup));
+        }
+        let start = self.tree.append_batch(commitments)?;
+        for (offset, commitment) in commitments.iter().enumerate() {
+            self.index_of
+                .insert(commitment.to_bytes_le(), start + offset as u64);
+        }
+        Ok(start..start + commitments.len() as u64)
+    }
+
     /// Removes the member at `index` (slashing), zeroing its leaf.
     ///
     /// Returns the removed commitment.
@@ -253,6 +297,43 @@ mod tests {
         assert_eq!(g.index_of(id.commitment()), Some(0));
         let proof = g.membership_proof(idx).unwrap();
         assert!(proof.verify(g.root(), id.commitment()));
+    }
+
+    #[test]
+    fn register_batch_matches_sequential_and_is_atomic() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ids: Vec<Identity> = (0..17).map(|_| Identity::random(&mut rng)).collect();
+        let commitments: Vec<Fr> = ids.iter().map(Identity::commitment).collect();
+
+        let mut sequential = RlnGroup::new(8).unwrap();
+        for c in &commitments {
+            sequential.register(*c).unwrap();
+        }
+        let mut batched = RlnGroup::new(8).unwrap();
+        let range = batched.register_batch(&commitments).unwrap();
+        assert_eq!(range, 0..17);
+        assert_eq!(batched.root(), sequential.root());
+        assert_eq!(batched.member_count(), 17);
+        for (i, c) in commitments.iter().enumerate() {
+            assert_eq!(batched.index_of(*c), Some(i as u64));
+        }
+
+        // a batch containing an already-registered commitment is rejected
+        // without mutating the group
+        let root_before = batched.root();
+        let fresh = Identity::random(&mut rng).commitment();
+        let err = batched
+            .register_batch(&[fresh, commitments[0]])
+            .unwrap_err();
+        assert!(matches!(err, GroupError::AlreadyRegistered(_)));
+        assert_eq!(batched.root(), root_before);
+        assert!(!batched.contains(fresh));
+
+        // as is a batch with an internal duplicate
+        let twin = Identity::random(&mut rng).commitment();
+        let err = batched.register_batch(&[twin, twin]).unwrap_err();
+        assert_eq!(err, GroupError::AlreadyRegistered(twin));
+        assert!(!batched.contains(twin));
     }
 
     #[test]

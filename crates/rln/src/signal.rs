@@ -6,13 +6,15 @@
 //! of it is well-formed with respect to the membership root.
 
 use crate::identity::Identity;
-use serde::{Deserialize, Serialize};
 use rand::RngCore;
+use serde::{Deserialize, Serialize};
 use wakurln_crypto::field::Fr;
 use wakurln_crypto::merkle::MerkleProof;
 use wakurln_crypto::poseidon;
 use wakurln_crypto::shamir::Share;
-use wakurln_zksnark::{Proof, ProveError, ProvingKey, RlnCircuit, RlnPublicInputs, RlnWitness, SimSnark, VerifyingKey};
+use wakurln_zksnark::{
+    Proof, ProveError, ProvingKey, RlnCircuit, RlnPublicInputs, RlnWitness, SimSnark, VerifyingKey,
+};
 
 /// A complete RLN signal, ready to be wrapped in a routing-layer message.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -87,15 +89,17 @@ pub fn create_signal<R: RngCore + ?Sized>(
     rng: &mut R,
 ) -> Result<Signal, ProveError> {
     let x = poseidon::hash_bytes_to_field(message);
-    let (public, _a1) =
-        RlnCircuit::derive_public(identity.secret(), root, external_nullifier, x);
+    let (public, _a1) = RlnCircuit::derive_public(identity.secret(), root, external_nullifier, x);
     let witness = RlnWitness::new(identity.secret(), membership_proof);
     let proof = SimSnark::prove(proving_key, &public, &witness, rng)?;
     Ok(Signal {
         message: message.to_vec(),
         external_nullifier,
         internal_nullifier: public.internal_nullifier,
-        share: Share { x: public.x, y: public.y },
+        share: Share {
+            x: public.x,
+            y: public.y,
+        },
         root,
         proof,
     })
@@ -123,6 +127,20 @@ pub fn verify_signal(
     SignalValidity::Valid
 }
 
+/// Statelessly verifies a batch of signals against one accepted root,
+/// fanning zkSNARK verification out across worker threads (with the
+/// `parallel` feature; inline otherwise). Returns per-signal validity in
+/// input order — equivalent to mapping [`verify_signal`].
+pub fn verify_signal_batch(
+    verifying_key: &VerifyingKey,
+    expected_root: Fr,
+    signals: &[&Signal],
+) -> Vec<SignalValidity> {
+    wakurln_zksnark::parallel::par_map(signals, 4, |signal| {
+        verify_signal(verifying_key, expected_root, signal)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,9 +163,18 @@ mod tests {
         let (pk, vk) = SimSnark::setup(RlnCircuit::new(depth), &mut rng);
         let mut group = RlnGroup::new(depth).unwrap();
         let id = Identity::random(&mut rng);
-        group.register(Identity::random(&mut rng).commitment()).unwrap();
+        group
+            .register(Identity::random(&mut rng).commitment())
+            .unwrap();
         let index = group.register(id.commitment()).unwrap();
-        Fixture { group, id, index, pk, vk, rng }
+        Fixture {
+            group,
+            id,
+            index,
+            pk,
+            vk,
+            rng,
+        }
     }
 
     fn make_signal(f: &mut Fixture, epoch: u64, msg: &[u8]) -> Signal {
@@ -168,7 +195,10 @@ mod tests {
     fn valid_signal_verifies() {
         let mut f = fixture();
         let sig = make_signal(&mut f, 1, b"hello");
-        assert_eq!(verify_signal(&f.vk, f.group.root(), &sig), SignalValidity::Valid);
+        assert_eq!(
+            verify_signal(&f.vk, f.group.root(), &sig),
+            SignalValidity::Valid
+        );
     }
 
     #[test]
@@ -244,6 +274,27 @@ mod tests {
         assert_eq!(s1.internal_nullifier, s2.internal_nullifier);
         let sk = wakurln_crypto::shamir::recover_line_secret(&s1.share, &s2.share).unwrap();
         assert_eq!(sk, f.id.secret());
+    }
+
+    #[test]
+    fn batch_verification_matches_individual() {
+        let mut f = fixture();
+        let mut signals = Vec::new();
+        for epoch in 1..=5 {
+            signals.push(make_signal(&mut f, epoch, b"batched"));
+        }
+        signals[1].share.y += Fr::ONE; // tamper
+        signals[3].message = b"swapped".to_vec(); // message mismatch
+        let refs: Vec<&Signal> = signals.iter().collect();
+        let batch = verify_signal_batch(&f.vk, f.group.root(), &refs);
+        let individual: Vec<SignalValidity> = signals
+            .iter()
+            .map(|s| verify_signal(&f.vk, f.group.root(), s))
+            .collect();
+        assert_eq!(batch, individual);
+        assert_eq!(batch[0], SignalValidity::Valid);
+        assert_eq!(batch[1], SignalValidity::InvalidProof);
+        assert_eq!(batch[3], SignalValidity::MessageMismatch);
     }
 
     #[test]

@@ -69,8 +69,7 @@ pub fn analyze_double_signal(a: &Signal, b: &Signal) -> DoubleSignalOutcome {
 /// whose proofs verified, asserted by tests).
 pub fn build_evidence(sk: Fr, reference: &Signal) -> Option<SlashingEvidence> {
     let identity = Identity::from_secret(sk);
-    if identity.internal_nullifier_for(reference.external_nullifier)
-        != reference.internal_nullifier
+    if identity.internal_nullifier_for(reference.external_nullifier) != reference.internal_nullifier
     {
         return None;
     }
@@ -99,7 +98,8 @@ mod tests {
         let index = group.register(id.commitment()).unwrap();
         let proof = group.membership_proof(index).unwrap();
         let epoch = Fr::from_u64(55);
-        let s1 = create_signal(&id, &proof, group.root(), &pk, epoch, b"msg-one", &mut rng).unwrap();
+        let s1 =
+            create_signal(&id, &proof, group.root(), &pk, epoch, b"msg-one", &mut rng).unwrap();
         let m2: &[u8] = if same_message { b"msg-one" } else { b"msg-two" };
         let s2 = create_signal(&id, &proof, group.root(), &pk, epoch, m2, &mut rng).unwrap();
         (s1, s2, id)
@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn identical_message_is_duplicate_not_spam() {
         let (s1, s2, _) = two_signals(true);
-        assert_eq!(analyze_double_signal(&s1, &s2), DoubleSignalOutcome::Duplicate);
+        assert_eq!(
+            analyze_double_signal(&s1, &s2),
+            DoubleSignalOutcome::Duplicate
+        );
     }
 
     #[test]
@@ -149,8 +152,26 @@ mod tests {
         let id = Identity::random(&mut rng);
         let index = group.register(id.commitment()).unwrap();
         let proof = group.membership_proof(index).unwrap();
-        let s1 = create_signal(&id, &proof, group.root(), &pk, Fr::from_u64(1), b"a", &mut rng).unwrap();
-        let s2 = create_signal(&id, &proof, group.root(), &pk, Fr::from_u64(2), b"b", &mut rng).unwrap();
+        let s1 = create_signal(
+            &id,
+            &proof,
+            group.root(),
+            &pk,
+            Fr::from_u64(1),
+            b"a",
+            &mut rng,
+        )
+        .unwrap();
+        let s2 = create_signal(
+            &id,
+            &proof,
+            group.root(),
+            &pk,
+            Fr::from_u64(2),
+            b"b",
+            &mut rng,
+        )
+        .unwrap();
         let _ = analyze_double_signal(&s1, &s2);
     }
 
@@ -165,8 +186,26 @@ mod tests {
         let id = Identity::random(&mut rng);
         let index = group.register(id.commitment()).unwrap();
         let proof = group.membership_proof(index).unwrap();
-        let s1 = create_signal(&id, &proof, group.root(), &pk, Fr::from_u64(1), b"a", &mut rng).unwrap();
-        let s2 = create_signal(&id, &proof, group.root(), &pk, Fr::from_u64(2), b"b", &mut rng).unwrap();
+        let s1 = create_signal(
+            &id,
+            &proof,
+            group.root(),
+            &pk,
+            Fr::from_u64(1),
+            b"a",
+            &mut rng,
+        )
+        .unwrap();
+        let s2 = create_signal(
+            &id,
+            &proof,
+            group.root(),
+            &pk,
+            Fr::from_u64(2),
+            b"b",
+            &mut rng,
+        )
+        .unwrap();
         let wrong = shamir::recover_line_secret(&s1.share, &s2.share).unwrap();
         assert_ne!(wrong, id.secret());
     }

@@ -126,12 +126,7 @@ impl Boolean {
 ///
 /// Used for Merkle-path ordering: the path element is hashed on the left or
 /// right depending on the leaf-index bit. Costs 2 constraints.
-pub fn conditional_swap(
-    cs: &mut ConstraintSystem,
-    a: &Num,
-    b: &Num,
-    bit: &Boolean,
-) -> (Num, Num) {
+pub fn conditional_swap(cs: &mut ConstraintSystem, a: &Num, b: &Num, bit: &Boolean) -> (Num, Num) {
     // left  = a + bit·(b − a)
     // right = b + bit·(a − b)
     let b_minus_a = Num {

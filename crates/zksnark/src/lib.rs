@@ -18,6 +18,7 @@
 
 pub mod circuit;
 pub mod gadgets;
+pub mod parallel;
 pub mod r1cs;
 pub mod snark;
 

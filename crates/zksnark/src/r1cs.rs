@@ -131,7 +131,11 @@ pub struct UnsatisfiedConstraint {
 
 impl fmt::Display for UnsatisfiedConstraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "constraint #{} ({}) is not satisfied", self.index, self.label)
+        write!(
+            f,
+            "constraint #{} ({}) is not satisfied",
+            self.index, self.label
+        )
     }
 }
 
@@ -249,6 +253,33 @@ impl ConstraintSystem {
             }
         }
         Ok(())
+    }
+
+    /// Checks every constraint, fanning evaluation out across worker
+    /// threads (the prover's hot path; behaves exactly like
+    /// [`ConstraintSystem::is_satisfied`], including reporting the *first*
+    /// violated constraint).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index [`UnsatisfiedConstraint`].
+    pub fn is_satisfied_par(&self) -> Result<(), UnsatisfiedConstraint> {
+        let violations =
+            crate::parallel::par_chunk_map(&self.constraints, 2048, |offset, chunk| {
+                chunk.iter().enumerate().find_map(|(i, con)| {
+                    let a = self.eval(&con.a);
+                    let b = self.eval(&con.b);
+                    let c = self.eval(&con.c);
+                    (a * b != c).then_some(UnsatisfiedConstraint {
+                        index: offset + i,
+                        label: con.label,
+                    })
+                })
+            });
+        match violations.into_iter().flatten().min_by_key(|u| u.index) {
+            Some(unsatisfied) => Err(unsatisfied),
+            None => Ok(()),
+        }
     }
 
     /// Number of constraints.

@@ -75,7 +75,10 @@ impl fmt::Display for ProveError {
                 write!(f, "witness does not satisfy constraint '{label}'")
             }
             ProveError::DepthMismatch { expected, got } => {
-                write!(f, "witness path depth {got} does not match circuit depth {expected}")
+                write!(
+                    f,
+                    "witness path depth {got} does not match circuit depth {expected}"
+                )
             }
         }
     }
@@ -204,6 +207,49 @@ impl SimSnark {
         witness: &RlnWitness,
         rng: &mut R,
     ) -> Result<Proof, ProveError> {
+        // check first, draw randomness after: a failing prove consumes no
+        // RNG state, so seed-pinned simulations that mix failed proves
+        // with later RNG use keep reproducing
+        Self::synthesize_and_check(pk, public, witness)?;
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Ok(Self::proof_from_seed(pk, public, seed))
+    }
+
+    /// Generates proofs for many statements, fanning the witness synthesis
+    /// and constraint checking out across worker threads (with the
+    /// `parallel` feature; inline otherwise). Per-statement randomness is
+    /// drawn from `rng` up front (one 32-byte seed per job, including jobs
+    /// that end up failing), so all-success batches produce proofs
+    /// identical to sequential [`SimSnark::prove`] calls on the same RNG.
+    pub fn prove_batch<R: RngCore + ?Sized>(
+        pk: &ProvingKey,
+        jobs: &[(RlnPublicInputs, RlnWitness)],
+        rng: &mut R,
+    ) -> Vec<Result<Proof, ProveError>> {
+        let seeds: Vec<[u8; 32]> = jobs
+            .iter()
+            .map(|_| {
+                let mut seed = [0u8; 32];
+                rng.fill_bytes(&mut seed);
+                seed
+            })
+            .collect();
+        let seeded: Vec<(&(RlnPublicInputs, RlnWitness), [u8; 32])> =
+            jobs.iter().zip(seeds).collect();
+        crate::parallel::par_map(&seeded, 1, |((public, witness), seed)| {
+            Self::synthesize_and_check(pk, public, witness)?;
+            Ok(Self::proof_from_seed(pk, public, *seed))
+        })
+    }
+
+    /// The honest-prover work: full witness synthesis plus (parallel)
+    /// constraint checking.
+    fn synthesize_and_check(
+        pk: &ProvingKey,
+        public: &RlnPublicInputs,
+        witness: &RlnWitness,
+    ) -> Result<(), ProveError> {
         if witness.path_siblings.len() != pk.circuit.depth() {
             return Err(ProveError::DepthMismatch {
                 expected: pk.circuit.depth(),
@@ -212,13 +258,14 @@ impl SimSnark {
         }
         let mut cs = ConstraintSystem::new();
         pk.circuit.synthesize(&mut cs, public, witness);
-        cs.is_satisfied()
-            .map_err(|e| ProveError::Unsatisfied(e.label))?;
+        cs.is_satisfied_par()
+            .map_err(|e| ProveError::Unsatisfied(e.label))
+    }
 
+    /// Builds the constant-size proof from explicit prover randomness.
+    fn proof_from_seed(pk: &ProvingKey, public: &RlnPublicInputs, seed: [u8; 32]) -> Proof {
         // Zero-knowledge: the proof elements are a PRF of fresh randomness
         // only — independent of the witness.
-        let mut seed = [0u8; 32];
-        rng.fill_bytes(&mut seed);
         let mut elements = [[0u8; 32]; 4];
         for (i, chunk) in elements.iter_mut().enumerate() {
             let mut h = Sha256::new();
@@ -228,7 +275,7 @@ impl SimSnark {
             *chunk = h.finalize();
         }
         let binding = Self::binding(&pk.srs_secret, pk.circuit.depth(), public, &elements);
-        Ok(Proof { elements, binding })
+        Proof { elements, binding }
     }
 
     /// Verifies a proof in constant time (independent of circuit depth) —
@@ -242,6 +289,16 @@ impl SimSnark {
             .zip(proof.binding.iter())
             .fold(0u8, |acc, (a, b)| acc | (a ^ b))
             == 0
+    }
+
+    /// Verifies many statements, fanning out across worker threads (with
+    /// the `parallel` feature; inline otherwise). Returns per-statement
+    /// validity in input order — the entry point a validator uses when
+    /// draining its message queue.
+    pub fn verify_batch(vk: &VerifyingKey, statements: &[(&RlnPublicInputs, &Proof)]) -> Vec<bool> {
+        crate::parallel::par_map(statements, 4, |(public, proof)| {
+            Self::verify(vk, public, proof)
+        })
     }
 
     fn binding(
@@ -365,12 +422,8 @@ mod tests {
     fn non_member_cannot_prove() {
         let mut f = fixture(10);
         let outsider = Fr::from_u64(666);
-        let (public, _) = RlnCircuit::derive_public(
-            outsider,
-            f.tree.root(),
-            Fr::from_u64(1),
-            Fr::from_u64(2),
-        );
+        let (public, _) =
+            RlnCircuit::derive_public(outsider, f.tree.root(), Fr::from_u64(1), Fr::from_u64(2));
         // best effort: reuse some member's path
         let witness = RlnWitness::new(outsider, &f.tree.proof(f.index).unwrap());
         let err = SimSnark::prove(&f.pk, &public, &witness, &mut f.rng).unwrap_err();
@@ -380,16 +433,18 @@ mod tests {
     #[test]
     fn depth_mismatch_detected() {
         let mut f = fixture(10);
-        let (public, _) = RlnCircuit::derive_public(
-            f.sk,
-            f.tree.root(),
-            Fr::from_u64(1),
-            Fr::from_u64(2),
-        );
+        let (public, _) =
+            RlnCircuit::derive_public(f.sk, f.tree.root(), Fr::from_u64(1), Fr::from_u64(2));
         let mut witness = RlnWitness::new(f.sk, &f.tree.proof(f.index).unwrap());
         witness.path_siblings.pop();
         let err = SimSnark::prove(&f.pk, &public, &witness, &mut f.rng).unwrap_err();
-        assert!(matches!(err, ProveError::DepthMismatch { expected: 10, got: 9 }));
+        assert!(matches!(
+            err,
+            ProveError::DepthMismatch {
+                expected: 10,
+                got: 9
+            }
+        ));
     }
 
     #[test]
@@ -411,6 +466,82 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(999);
         let (_, other_vk) = SimSnark::setup(RlnCircuit::new(10), &mut rng);
         assert!(!SimSnark::verify(&other_vk, &public, &proof));
+    }
+
+    #[test]
+    fn prove_batch_matches_sequential_proves() {
+        let f = fixture(10);
+        let jobs: Vec<_> = (0..6u64)
+            .map(|i| {
+                let (public, _) = RlnCircuit::derive_public(
+                    f.sk,
+                    f.tree.root(),
+                    Fr::from_u64(i + 1),
+                    Fr::from_u64(1000 + i),
+                );
+                let witness = RlnWitness::new(f.sk, &f.tree.proof(f.index).unwrap());
+                (public, witness)
+            })
+            .collect();
+        // same seed stream → identical proofs to sequential prove calls
+        let mut batch_rng = StdRng::seed_from_u64(77);
+        let batch = SimSnark::prove_batch(&f.pk, &jobs, &mut batch_rng);
+        let mut seq_rng = StdRng::seed_from_u64(77);
+        for ((public, witness), batched) in jobs.iter().zip(&batch) {
+            let sequential = SimSnark::prove(&f.pk, public, witness, &mut seq_rng).unwrap();
+            assert_eq!(batched.as_ref().unwrap(), &sequential);
+            assert!(SimSnark::verify(&f.vk, public, batched.as_ref().unwrap()));
+        }
+    }
+
+    #[test]
+    fn failed_prove_consumes_no_rng_state() {
+        // seed-pinned simulations rely on this: a rejected prove must not
+        // advance the shared RNG stream
+        let f = fixture(10);
+        let outsider = Fr::from_u64(666);
+        let (bad_public, _) =
+            RlnCircuit::derive_public(outsider, f.tree.root(), Fr::from_u64(1), Fr::from_u64(2));
+        let bad_witness = RlnWitness::new(outsider, &f.tree.proof(f.index).unwrap());
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut pristine = StdRng::seed_from_u64(123);
+        assert!(SimSnark::prove(&f.pk, &bad_public, &bad_witness, &mut rng).is_err());
+        assert_eq!(rng.next_u64(), pristine.next_u64());
+    }
+
+    #[test]
+    fn prove_batch_reports_per_job_errors() {
+        let mut f = fixture(10);
+        let (good_public, _) =
+            RlnCircuit::derive_public(f.sk, f.tree.root(), Fr::from_u64(1), Fr::from_u64(2));
+        let good_witness = RlnWitness::new(f.sk, &f.tree.proof(f.index).unwrap());
+        let outsider = Fr::from_u64(666);
+        let (bad_public, _) =
+            RlnCircuit::derive_public(outsider, f.tree.root(), Fr::from_u64(1), Fr::from_u64(2));
+        let bad_witness = RlnWitness::new(outsider, &f.tree.proof(f.index).unwrap());
+        let results = SimSnark::prove_batch(
+            &f.pk,
+            &[(good_public, good_witness), (bad_public, bad_witness)],
+            &mut f.rng,
+        );
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(ProveError::Unsatisfied("rln/root")));
+    }
+
+    #[test]
+    fn verify_batch_matches_individual_verifies() {
+        let mut f = fixture(10);
+        let mut statements = Vec::new();
+        for i in 0..5 {
+            let (public, proof) = honest_proof(&mut f, i + 1, b"batch");
+            statements.push((public, proof));
+        }
+        // tamper with one of them
+        statements[2].1.binding[0] ^= 1;
+        let refs: Vec<(&RlnPublicInputs, &Proof)> =
+            statements.iter().map(|(p, pr)| (p, pr)).collect();
+        let verdicts = SimSnark::verify_batch(&f.vk, &refs);
+        assert_eq!(verdicts, vec![true, true, false, true, true]);
     }
 
     #[test]

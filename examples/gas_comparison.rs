@@ -21,14 +21,29 @@ fn main() {
     let user = Address::from_label("gas-example");
     chain.fund(user, 1000 * ETHER);
 
-    println!("{:>8} {:>18} {:>18} {:>8}", "member", "registry gas", "tree gas", "ratio");
+    println!(
+        "{:>8} {:>18} {:>18} {:>8}",
+        "member", "registry gas", "tree gas", "ratio"
+    );
     let mut t = 0;
     for i in 0..8u64 {
         chain
-            .submit(user, ETHER, CallData::Register { commitment: Fr::from_u64(100 + i) })
+            .submit(
+                user,
+                ETHER,
+                CallData::Register {
+                    commitment: Fr::from_u64(100 + i),
+                },
+            )
             .expect("funded");
         chain
-            .submit(user, ETHER, CallData::TreeRegister { commitment: Fr::from_u64(100 + i) })
+            .submit(
+                user,
+                ETHER,
+                CallData::TreeRegister {
+                    commitment: Fr::from_u64(100 + i),
+                },
+            )
             .expect("funded");
         t += chain.config().block_interval;
         let receipts = chain.advance_to(t);

@@ -27,7 +27,10 @@ fn main() {
     );
     println!(
         "membership root (local view of peer 0): {}",
-        testbed.net.node(wakurln_netsim::NodeId(0)).membership_root()
+        testbed
+            .net
+            .node(wakurln_netsim::NodeId(0))
+            .membership_root()
     );
 
     // 2. Let GossipSub meshes form.

@@ -52,7 +52,10 @@ fn main() {
 
     // Follow the money.
     let burned = testbed.chain.balance_of(Address::BURN);
-    println!("burnt stake: {burned} wei ({}% of 1 ETH)", burned * 100 / ETHER);
+    println!(
+        "burnt stake: {burned} wei ({}% of 1 ETH)",
+        burned * 100 / ETHER
+    );
     for peer in 0..10 {
         let balance = testbed.chain.balance_of(testbed.address(peer));
         let delta = balance as i128 - (100 * ETHER - ETHER) as i128;

@@ -78,11 +78,7 @@ fn main() {
         "light-tree reduction vs full tree: {:.0}x",
         full.storage_bytes() as f64 / light.storage_bytes() as f64
     );
-    println!(
-        "(our own-path tree keeps frontier + path = 2·depth+1 hashes; the"
-    );
-    println!(
-        "paper's 0.128 KB counts only the ~4-hash diff state of [9] — same"
-    );
+    println!("(our own-path tree keeps frontier + path = 2·depth+1 hashes; the");
+    println!("paper's 0.128 KB counts only the ~4-hash diff state of [9] — same");
     println!("O(depth)-vs-O(2^depth) conclusion, constant-factor difference.)");
 }

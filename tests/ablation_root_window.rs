@@ -72,12 +72,7 @@ fn in_flight_message(c: &mut Churn, epoch_ms: u64, churn_registrations: usize) -
 }
 
 fn validator_with_window(c: &Churn, window: usize, roots: &[Fr]) -> RlnValidator {
-    let mut v = RlnValidator::new(
-        c.vk.clone(),
-        c.scheme,
-        roots[0],
-        CostModel::default(),
-    );
+    let mut v = RlnValidator::new(c.vk.clone(), c.scheme, roots[0], CostModel::default());
     v.set_root_window(window);
     for r in &roots[1..] {
         v.push_root(*r);

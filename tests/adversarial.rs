@@ -4,7 +4,7 @@
 
 use waku_rln::baselines::{double_signal_burst, epoch_replay_attack, run_peer_scoring, Scenario};
 use waku_rln::core::{EpochScheme, Testbed, TestbedConfig};
- 
+
 use waku_rln::netsim::NodeId;
 use waku_rln::relay::WakuMessage;
 

@@ -30,7 +30,12 @@ fn world(members: usize) -> World {
             id
         })
         .collect();
-    World { group, ids, pk, rng }
+    World {
+        group,
+        ids,
+        pk,
+        rng,
+    }
 }
 
 fn signal_from(w: &mut World, member: usize, epoch: u64, msg: &[u8]) -> Signal {
@@ -58,7 +63,10 @@ fn wire_signal_contains_no_identity_material() {
 
     let commitment = w.ids[member].commitment().to_bytes_le();
     let secret = w.ids[member].secret().to_bytes_le();
-    assert!(!contains(&wire, &commitment), "commitment leaked on the wire");
+    assert!(
+        !contains(&wire, &commitment),
+        "commitment leaked on the wire"
+    );
     assert!(!contains(&wire, &secret), "secret leaked on the wire");
     // even 8-byte prefixes must not appear
     assert!(!contains(&wire, &commitment[..8]));

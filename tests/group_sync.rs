@@ -76,7 +76,9 @@ fn proof_against_stale_root_rejected_after_sync() {
 
     // group evolves past the router's root window
     for _ in 0..3 {
-        group.register(Identity::random(&mut rng).commitment()).unwrap();
+        group
+            .register(Identity::random(&mut rng).commitment())
+            .unwrap();
     }
 
     let signal = create_signal(
@@ -90,7 +92,10 @@ fn proof_against_stale_root_rejected_after_sync() {
     )
     .unwrap();
     // statelessly: the proof is fine against the stale root…
-    assert_eq!(verify_signal(&vk, stale_root, &signal), SignalValidity::Valid);
+    assert_eq!(
+        verify_signal(&vk, stale_root, &signal),
+        SignalValidity::Valid
+    );
     // …but not against the current root
     assert_eq!(
         verify_signal(&vk, group.root(), &signal),

@@ -23,8 +23,10 @@ fn thirty_peers_three_epochs_two_spammers_one_late_joiner() {
         tb.publish(peer, &payload).unwrap();
     }
     for spammer in [3usize, 7] {
-        tb.publish_spam(spammer, format!("sp-{spammer}-a").as_bytes()).unwrap();
-        tb.publish_spam(spammer, format!("sp-{spammer}-b").as_bytes()).unwrap();
+        tb.publish_spam(spammer, format!("sp-{spammer}-a").as_bytes())
+            .unwrap();
+        tb.publish_spam(spammer, format!("sp-{spammer}-b").as_bytes())
+            .unwrap();
     }
     tb.run(40_000, 1_000);
 
@@ -72,7 +74,10 @@ fn thirty_peers_three_epochs_two_spammers_one_late_joiner() {
     // bounded state everywhere: nullifier maps hold ≤ Thr+1 epochs
     for i in 0..tb.peer_count() {
         let bytes = tb.net.node(NodeId(i)).validator().nullifier_map_bytes();
-        assert!(bytes < 64 * 1024, "peer {i} nullifier map grew to {bytes} B");
+        assert!(
+            bytes < 64 * 1024,
+            "peer {i} nullifier map grew to {bytes} B"
+        );
     }
 
     // light membership trees stayed tiny (E3 property, in vivo)
