@@ -1,0 +1,212 @@
+//! `simctl` — run scenario simulations from the command line.
+//!
+//! ```text
+//! simctl list
+//! simctl run <scenario> [--nodes N] [--seed S] [--spam-rate PCT]
+//!                       [--churn-rate PCT] [--out PATH]
+//! simctl sweep <scenario> --nodes N1,N2,.. [--seeds S1,S2,..]
+//!                         [--spam-rate PCT] [--churn-rate PCT] [--out PATH]
+//! ```
+//!
+//! `run` executes one built-in scenario (default 1000 nodes, seed 2022)
+//! and prints its `ScenarioReport` JSON to stdout; `sweep` runs the
+//! cartesian product of node counts and seeds and prints a JSON array.
+//! Progress goes to stderr. See `docs/SCENARIOS.md`.
+
+use wakurln_scenarios::{builtin, ChurnAction, ChurnEvent, ScenarioSpec, SpamSpec, BUILTIN_NAMES};
+
+fn usage() -> ! {
+    eprintln!("usage: simctl list");
+    eprintln!("       simctl run <scenario> [--nodes N] [--seed S] [--spam-rate PCT]");
+    eprintln!("                             [--churn-rate PCT] [--out PATH]");
+    eprintln!("       simctl sweep <scenario> --nodes N1,N2,.. [--seeds S1,S2,..]");
+    eprintln!("                               [--spam-rate PCT] [--churn-rate PCT] [--out PATH]");
+    eprintln!("scenarios: {}", BUILTIN_NAMES.join(", "));
+    std::process::exit(2)
+}
+
+/// CLI overrides applied on top of a built-in spec.
+#[derive(Default)]
+struct Overrides {
+    /// Percentage of honest peers that double-signal (replaces the
+    /// scenario's own spam block when set).
+    spam_rate_pct: Option<f64>,
+    /// Percentage of honest peers that crash mid-run (replaces the
+    /// scenario's own churn schedule when set).
+    churn_rate_pct: Option<f64>,
+}
+
+fn apply_overrides(spec: &mut ScenarioSpec, overrides: &Overrides) {
+    if let Some(pct) = overrides.spam_rate_pct {
+        let spammers = ((spec.honest as f64 * pct / 100.0).round() as usize).max(1);
+        spec.spam = Some(SpamSpec {
+            spammers,
+            burst: spec.spam.map(|s| s.burst).unwrap_or(6),
+            at_ms: spec.spam.map(|s| s.at_ms).unwrap_or(15_000),
+        });
+        spec.drain_ms = spec.drain_ms.max(60_000);
+    }
+    if let Some(pct) = overrides.churn_rate_pct {
+        let peers = ((spec.honest as f64 * pct / 100.0).round() as usize).max(1);
+        spec.churn = vec![ChurnEvent {
+            at_ms: 20_000,
+            action: ChurnAction::Crash { peers },
+        }];
+        spec.drain_ms = spec.drain_ms.max(60_000);
+    }
+}
+
+fn build_spec(name: &str, nodes: usize, seed: u64, overrides: &Overrides) -> ScenarioSpec {
+    let Some(mut spec) = builtin(name, nodes, seed) else {
+        eprintln!("unknown scenario: {name}");
+        eprintln!("scenarios: {}", BUILTIN_NAMES.join(", "));
+        std::process::exit(2);
+    };
+    apply_overrides(&mut spec, overrides);
+    // an impossible flag combination (e.g. --nodes 1) is a usage error,
+    // not a crash: map the spec validation panic to the exit-2 contract
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep the backtrace banner out of stderr
+    let check = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.validate()));
+    std::panic::set_hook(default_hook);
+    if let Err(panic) = check {
+        let reason = panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| panic.downcast_ref::<&str>().copied())
+            .unwrap_or("invalid scenario parameters");
+        eprintln!("invalid parameters for {name}: {reason}");
+        std::process::exit(2);
+    }
+    spec
+}
+
+fn parse_list(value: &str, what: &str) -> Vec<u64> {
+    let parsed: Option<Vec<u64>> = value.split(',').map(|v| v.trim().parse().ok()).collect();
+    match parsed {
+        Some(v) if !v.is_empty() => v,
+        _ => {
+            eprintln!("{what} needs a comma-separated integer list, got: {value}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn emit(json: &str, out_path: Option<&str>) {
+    print!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        usage()
+    };
+    if command == "list" {
+        for name in BUILTIN_NAMES {
+            println!("{name}");
+        }
+        return;
+    }
+    if command != "run" && command != "sweep" {
+        usage();
+    }
+    let Some(scenario) = args.get(1).map(String::as_str) else {
+        usage()
+    };
+
+    let mut nodes: Vec<u64> = vec![1000];
+    let mut seeds: Vec<u64> = vec![2022];
+    let mut overrides = Overrides::default();
+    let mut out_path: Option<String> = None;
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        let mut value = |what: &str| -> String {
+            rest.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--nodes" => nodes = parse_list(&value("--nodes"), "--nodes"),
+            "--seed" | "--seeds" => seeds = parse_list(&value("--seeds"), "--seeds"),
+            "--spam-rate" => {
+                overrides.spam_rate_pct = Some(value("--spam-rate").parse().unwrap_or_else(|_| {
+                    eprintln!("--spam-rate needs a number (percent)");
+                    std::process::exit(2);
+                }))
+            }
+            "--churn-rate" => {
+                overrides.churn_rate_pct =
+                    Some(value("--churn-rate").parse().unwrap_or_else(|_| {
+                        eprintln!("--churn-rate needs a number (percent)");
+                        std::process::exit(2);
+                    }))
+            }
+            "--out" => out_path = Some(value("--out")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    if command == "run" {
+        if nodes.len() != 1 || seeds.len() != 1 {
+            eprintln!("`run` takes a single node count and seed; use `sweep` for lists");
+            std::process::exit(2);
+        }
+        let spec = build_spec(scenario, nodes[0] as usize, seeds[0], &overrides);
+        eprintln!(
+            "running {scenario}: {} peers, seed {}, {} ms simulated...",
+            spec.initial_peers(),
+            spec.seed,
+            spec.duration_ms()
+        );
+        let report = wakurln_scenarios::run_scenario(&spec);
+        eprintln!("{}", report.summary_line());
+        emit(&report.to_json(), out_path.as_deref());
+        return;
+    }
+
+    // sweep: cartesian product of node counts and seeds
+    let total = nodes.len() * seeds.len();
+    let mut reports = Vec::with_capacity(total);
+    for n in &nodes {
+        for s in &seeds {
+            let spec = build_spec(scenario, *n as usize, *s, &overrides);
+            eprintln!(
+                "[{}/{}] {scenario}: {} peers, seed {s}...",
+                reports.len() + 1,
+                total,
+                spec.initial_peers(),
+            );
+            let report = wakurln_scenarios::run_scenario(&spec);
+            eprintln!("  {}", report.summary_line());
+            reports.push(report);
+        }
+    }
+    let mut json = String::from("[\n");
+    for (i, report) in reports.iter().enumerate() {
+        // indent each object two spaces to keep the array readable
+        let object = report.to_json();
+        let object = object.trim_end();
+        for line in object.lines() {
+            json.push_str("  ");
+            json.push_str(line);
+            json.push('\n');
+        }
+        if i + 1 < reports.len() {
+            json.truncate(json.trim_end().len());
+            json.push_str(",\n");
+        }
+    }
+    json.push_str("]\n");
+    emit(&json, out_path.as_deref());
+}

@@ -110,6 +110,31 @@ impl Testbed {
     /// still run a few simulated seconds for gossip meshes to form before
     /// measuring propagation.
     pub fn build(config: TestbedConfig) -> Testbed {
+        let adjacency = topology::random_regular(config.n_peers, config.degree, config.seed);
+        Testbed::build_custom(config, adjacency, |_| config.cost)
+    }
+
+    /// [`Testbed::build`] with full control over the bootstrap topology
+    /// and per-peer device profiles — the entry point the scenario engine
+    /// uses for eclipse wiring (a victim whose bootstrap set is entirely
+    /// adversarial) and heterogeneous-device mixes.
+    ///
+    /// `adjacency[i]` is peer `i`'s bootstrap set; `cost_of(i)` its
+    /// validation cost model (device class).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `adjacency.len() != config.n_peers`.
+    pub fn build_custom(
+        config: TestbedConfig,
+        adjacency: Vec<Vec<NodeId>>,
+        cost_of: impl Fn(usize) -> CostModel,
+    ) -> Testbed {
+        assert_eq!(
+            adjacency.len(),
+            config.n_peers,
+            "adjacency must cover every peer"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let (proving_key, verifying_key) =
             SimSnark::setup(RlnCircuit::new(config.tree_depth), &mut rng);
@@ -120,7 +145,6 @@ impl Testbed {
             ..ChainConfig::default()
         });
 
-        let adjacency = topology::random_regular(config.n_peers, config.degree, config.seed);
         let mut net: Network<RlnRelayNode> = Network::new(
             UniformLatency {
                 min_ms: config.latency_ms.0,
@@ -135,7 +159,7 @@ impl Testbed {
         for (i, peers) in adjacency.into_iter().enumerate() {
             let identity = Identity::random(&mut rng);
             let validator =
-                RlnValidator::new(verifying_key.clone(), config.epoch, empty_root, config.cost);
+                RlnValidator::new(verifying_key.clone(), config.epoch, empty_root, cost_of(i));
             let mut node = RlnRelayNode::new(
                 peers,
                 validator,
@@ -269,9 +293,38 @@ impl Testbed {
         peer
     }
 
-    /// Number of peers currently in the network (including late joiners).
+    /// Number of peers currently in the network (including late joiners
+    /// and crashed peers — ids are stable).
     pub fn peer_count(&self) -> usize {
         self.net.len()
+    }
+
+    /// Number of peers still running (crashed peers excluded).
+    pub fn live_peer_count(&self) -> usize {
+        self.net.active_len()
+    }
+
+    /// Whether a peer is still running (not crashed).
+    pub fn is_live(&self, peer: usize) -> bool {
+        self.net.is_active(NodeId(peer))
+    }
+
+    /// Crashes a peer: the simulated process dies without any goodbye —
+    /// queued messages to it are dropped, its timers never fire again,
+    /// and the mesh around it repairs itself through the gossip layer's
+    /// liveness sweep. The peer's chain-side membership is untouched (a
+    /// crash is not a slash), so [`Testbed::active_members`] does not
+    /// change.
+    ///
+    /// Returns `false` when the peer had already crashed.
+    pub fn crash_peer(&mut self, peer: usize) -> bool {
+        self.net.remove_node(NodeId(peer))
+    }
+
+    /// Marks a peer as a censorship-eclipse adversary (see
+    /// [`RlnRelayNode::set_censor`]).
+    pub fn set_censor(&mut self, peer: usize, censor: bool) {
+        self.net.node_mut(NodeId(peer)).set_censor(censor);
     }
 
     /// Advances the whole world (network, chain, event sync, slashing
@@ -369,6 +422,9 @@ impl Testbed {
             .register_batch(burst)
             .expect("mirror batch registration");
         for i in 0..self.net.len() {
+            if !self.net.is_active(NodeId(i)) {
+                continue; // crashed peers stop syncing
+            }
             self.net
                 .node_mut(NodeId(i))
                 .apply_registrations(burst)
@@ -403,6 +459,9 @@ impl Testbed {
                         .expect("witness for slashed member");
                     self.mirror.remove(index).expect("mirror removal");
                     for i in 0..self.net.len() {
+                        if !self.net.is_active(NodeId(i)) {
+                            continue;
+                        }
                         self.net
                             .node_mut(NodeId(i))
                             .apply_slashing(index, commitment, &witness)
@@ -422,6 +481,9 @@ impl Testbed {
 
     fn submit_detected_slashes(&mut self) {
         for i in 0..self.net.len() {
+            if !self.net.is_active(NodeId(i)) {
+                continue; // a dead peer submits nothing
+            }
             let detections = self
                 .net
                 .node_mut(NodeId(i))
@@ -520,6 +582,62 @@ mod tests {
         tb.publish(5, b"life goes on").unwrap();
         tb.run(15_000, 1_000);
         assert!(tb.delivery_count(b"life goes on", 5) >= 6);
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+
+    #[test]
+    fn crashed_peer_stays_member_but_stops_receiving() {
+        let mut tb = Testbed::build(TestbedConfig {
+            n_peers: 8,
+            tree_depth: 10,
+            degree: 4,
+            seed: 41,
+            ..Default::default()
+        });
+        tb.run(8_000, 1_000);
+        assert!(tb.crash_peer(3));
+        assert!(!tb.crash_peer(3), "second crash must be a no-op");
+        assert!(!tb.is_live(3));
+        assert_eq!(tb.live_peer_count(), 7);
+        // a crash is not a slash: the contract still holds the stake
+        assert_eq!(tb.active_members(), 8);
+
+        tb.publish(0, b"post-crash").unwrap();
+        tb.run(40_000, 1_000);
+        // survivors converge (mesh repaired around the hole)...
+        assert!(tb.delivery_count(b"post-crash", 0) >= 6);
+        // ...and the dead peer took nothing
+        let got = tb
+            .net
+            .node(NodeId(3))
+            .app_deliveries()
+            .iter()
+            .any(|(m, _)| m == b"post-crash");
+        assert!(!got, "crashed peer received traffic");
+    }
+
+    #[test]
+    fn network_survives_crashes_and_still_slashes_spammers() {
+        let mut tb = Testbed::build(TestbedConfig {
+            n_peers: 10,
+            tree_depth: 10,
+            degree: 4,
+            seed: 42,
+            ..Default::default()
+        });
+        tb.run(8_000, 1_000);
+        tb.crash_peer(1);
+        tb.crash_peer(8);
+        tb.run(5_000, 1_000);
+        tb.publish_spam(4, b"cs-a").unwrap();
+        tb.publish_spam(4, b"cs-b").unwrap();
+        tb.run(40_000, 1_000);
+        assert!(!tb.is_member(4), "spammer survived network churn");
+        assert_eq!(tb.active_members(), 9);
     }
 }
 

@@ -13,9 +13,14 @@
 //! * [`validator`] — the §III routing validation pipeline (proof → epoch →
 //!   nullifier map), pluggable into GossipSub,
 //! * [`node`] — the full peer: light membership tree, rate-limited
-//!   publishing, slashing-event application,
+//!   publishing (§III "Publishing"), slashing-event application, and the
+//!   censorship-eclipse adversary mode used by the scenario library,
 //! * [`harness`] — a whole-network testbed wiring peers to the simulated
-//!   membership contract (registration, group sync, slashing round-trip).
+//!   membership contract (§III registration, group sync, slashing
+//!   round-trip) with churn support (crashes, late joins). Scenario
+//!   composition on top of the testbed — topology, node mixes, churn
+//!   schedules, attack timing — lives in the `wakurln-scenarios` crate;
+//!   tests and `simctl` drive the harness through that engine.
 //!
 //! # End-to-end example
 //!
@@ -35,7 +40,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod codec;
 pub mod epoch;

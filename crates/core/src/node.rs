@@ -64,6 +64,11 @@ pub struct RlnRelayNode {
     content_topic: String,
     /// Count of publishes refused by the local rate limiter.
     pub rate_limited_count: u64,
+    /// Censorship-eclipse behaviour: when set, incoming `Forward` frames
+    /// are silently dropped while all control traffic (subscriptions,
+    /// grafts, pings) is answered normally — the peer looks healthy to
+    /// its mesh neighbours but starves them of messages.
+    censor: bool,
 }
 
 impl RlnRelayNode {
@@ -93,7 +98,23 @@ impl RlnRelayNode {
             last_published_epoch: None,
             content_topic: "/waku/rln/1/chat/proto".to_string(),
             rate_limited_count: 0,
+            censor: false,
         }
+    }
+
+    /// Switches censorship-eclipse behaviour on or off (the targeted
+    /// eclipse adversary of the scenario library): a censoring peer
+    /// participates in every control exchange but drops all message
+    /// forwards, so a victim whose whole bootstrap set censors is
+    /// isolated from honest traffic without noticing a failure.
+    pub fn set_censor(&mut self, censor: bool) {
+        self.censor = censor;
+    }
+
+    /// Whether this peer is currently censoring (see
+    /// [`RlnRelayNode::set_censor`]).
+    pub fn is_censor(&self) -> bool {
+        self.censor
     }
 
     /// Assigns the identity this peer will register with.
@@ -327,6 +348,10 @@ impl Node for RlnRelayNode {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: Rpc) {
+        if self.censor && matches!(msg, Rpc::Forward(_)) {
+            ctx.count("censored_forwards", 1);
+            return;
+        }
         self.relay.on_message(ctx, from, msg);
     }
 

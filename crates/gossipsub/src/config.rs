@@ -27,6 +27,12 @@ pub struct GossipsubConfig {
     pub max_iwant_per_heartbeat: usize,
     /// Whether v1.1 peer scoring is active.
     pub scoring_enabled: bool,
+    /// Liveness timeout: a mesh peer not heard from for this long is
+    /// presumed crashed and pruned from the mesh and the peer-topic
+    /// tables (the simulator has no connection teardown notifications, so
+    /// churn repair relies on keepalives — see `Rpc::Ping`). Quiet peers
+    /// are pinged at half this timeout. `0` disables liveness tracking.
+    pub peer_timeout_ms: u64,
 }
 
 impl Default for GossipsubConfig {
@@ -42,6 +48,7 @@ impl Default for GossipsubConfig {
             seen_ttl_ms: 120_000,
             max_iwant_per_heartbeat: 64,
             scoring_enabled: true,
+            peer_timeout_ms: 30_000,
         }
     }
 }

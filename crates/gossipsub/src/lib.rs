@@ -8,11 +8,15 @@
 //! with scoring as the *only* defence — the baseline spam-protection
 //! scheme the paper's §I critiques (experiment E6).
 //!
-//! * [`config`] — protocol and scoring parameters,
-//! * [`types`] — topics, message ids, RPC frames, the message cache,
+//! * [`config`] — protocol and scoring parameters (including the
+//!   liveness timeout behind churn repair),
+//! * [`types`] — topics, message ids, RPC frames (incl. ping/pong
+//!   keepalives), the message cache,
 //! * [`score`] — the peer-score table,
 //! * [`node`] — the protocol state machine with the [`Validator`] hook
-//!   that WAKU-RLN-RELAY attaches its proof/epoch/nullifier checks to.
+//!   that WAKU-RLN-RELAY attaches its proof/epoch/nullifier checks to,
+//!   plus mesh repair under churn (quiet peers are pinged, dead ones
+//!   pruned and replaced at the next heartbeat).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

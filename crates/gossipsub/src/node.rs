@@ -88,6 +88,10 @@ pub struct GossipsubNode<V: Validator> {
     delivered: Vec<Delivery>,
     /// IWANTs already spent per peer this heartbeat.
     iwant_spent: HashMap<NodeId, usize>,
+    /// Last time (ms) any RPC arrived from a peer — the liveness signal
+    /// behind churn repair (crashed peers go quiet and are pruned after
+    /// `peer_timeout_ms`).
+    last_heard: HashMap<NodeId, u64>,
 }
 
 impl<V: Validator> GossipsubNode<V> {
@@ -111,6 +115,7 @@ impl<V: Validator> GossipsubNode<V> {
             validator,
             delivered: Vec::new(),
             iwant_spent: HashMap::new(),
+            last_heard: HashMap::new(),
         }
     }
 
@@ -307,11 +312,50 @@ impl<V: Validator> GossipsubNode<V> {
         self.score.set_in_mesh(from, still_meshed);
     }
 
+    /// Churn repair: ping quiet peers, presume peers silent beyond the
+    /// timeout dead, and drop them from mesh and candidate tables so the
+    /// graft step can backfill with live peers.
+    fn liveness_sweep(&mut self, ctx: &mut Context<'_, Rpc>) {
+        let timeout = self.config.peer_timeout_ms;
+        if timeout == 0 {
+            return;
+        }
+        let now = ctx.now();
+        // everyone we currently track: mesh members plus known topic peers
+        let mut tracked: BTreeSet<NodeId> = BTreeSet::new();
+        tracked.extend(self.mesh.values().flatten().copied());
+        tracked.extend(self.peer_topics.values().flatten().copied());
+        let mut dead: Vec<NodeId> = Vec::new();
+        for peer in tracked {
+            // a peer we never heard from starts its clock at first sight
+            let last = *self.last_heard.entry(peer).or_insert(now);
+            let quiet_ms = now.saturating_sub(last);
+            if quiet_ms >= timeout {
+                dead.push(peer);
+            } else if quiet_ms >= timeout / 2 {
+                ctx.send(peer, Rpc::Ping);
+                ctx.count("pings_sent", 1);
+            }
+        }
+        for peer in dead {
+            for mesh in self.mesh.values_mut() {
+                mesh.remove(&peer);
+            }
+            for subscribers in self.peer_topics.values_mut() {
+                subscribers.remove(&peer);
+            }
+            self.score.set_in_mesh(peer, false);
+            self.last_heard.remove(&peer);
+            ctx.count("peers_presumed_dead", 1);
+        }
+    }
+
     fn heartbeat(&mut self, ctx: &mut Context<'_, Rpc>) {
         if self.config.scoring_enabled {
             self.score.heartbeat();
         }
         self.iwant_spent.clear();
+        self.liveness_sweep(ctx);
 
         for topic in self.subscriptions.clone() {
             let mesh = self.mesh.entry(topic.clone()).or_default();
@@ -428,6 +472,8 @@ impl<V: Validator> Node for GossipsubNode<V> {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: Rpc) {
+        // any frame proves liveness, even one we will refuse to process
+        self.last_heard.insert(from, ctx.now());
         if self.config.scoring_enabled && self.score.graylisted(from) {
             ctx.count("rpc_graylisted", 1);
             return;
@@ -458,6 +504,8 @@ impl<V: Validator> Node for GossipsubNode<V> {
             Rpc::IWant { ids } => self.handle_iwant(ctx, from, ids),
             Rpc::Graft(topic) => self.handle_graft(ctx, from, topic),
             Rpc::Prune(topic) => self.handle_prune(from, topic),
+            Rpc::Ping => ctx.send(from, Rpc::Pong),
+            Rpc::Pong => {} // the `last_heard` update above is the point
         }
     }
 
@@ -630,6 +678,73 @@ mod tests {
             .filter(|i| net.node(NodeId(*i)).peer_score().score(NodeId(0)) < 0.0)
             .count();
         assert!(punished >= 1, "no peer punished the spammer");
+    }
+
+    #[test]
+    fn mesh_repairs_itself_after_neighbour_crashes() {
+        let mut net = build_network(30, 11);
+        net.run_until(10_000); // meshes form
+        let topic = Topic::new("test");
+
+        // crash every mesh neighbour of node 0 (worst-case local churn)
+        let victims = net.node(NodeId(0)).mesh_peers(&topic);
+        assert!(!victims.is_empty());
+        for v in &victims {
+            net.remove_node(*v);
+        }
+
+        // pings go unanswered; after peer_timeout_ms the dead are pruned
+        // and the heartbeat grafts live replacements
+        let timeout = GossipsubConfig::default().peer_timeout_ms;
+        net.run_until(10_000 + 2 * timeout);
+        let mesh = net.node(NodeId(0)).mesh_peers(&topic);
+        assert!(
+            !mesh.is_empty(),
+            "mesh never recovered after neighbour crashes"
+        );
+        for peer in &mesh {
+            assert!(
+                !victims.contains(peer),
+                "dead peer {peer} still in the mesh"
+            );
+            assert!(net.is_active(*peer), "mesh contains a removed node");
+        }
+        assert!(net.metrics().counter("peers_presumed_dead") >= victims.len() as u64);
+
+        // and the repaired mesh still routes: a publish reaches survivors
+        net.invoke(NodeId(0), |node, ctx| {
+            node.publish(ctx, Topic::new("test"), b"after the storm".to_vec())
+        });
+        net.run_until(10_000 + 2 * timeout + 30_000);
+        let survivors: Vec<usize> = (1..30).filter(|i| net.is_active(NodeId(*i))).collect();
+        let received = survivors
+            .iter()
+            .filter(|i| {
+                net.node(NodeId(**i))
+                    .delivered()
+                    .iter()
+                    .any(|d| d.data == b"after the storm")
+            })
+            .count();
+        assert!(
+            received * 10 >= survivors.len() * 9,
+            "only {received}/{} survivors reached after repair",
+            survivors.len()
+        );
+    }
+
+    #[test]
+    fn quiet_peers_are_pinged_not_pruned() {
+        let mut net = build_network(10, 12);
+        let timeout = GossipsubConfig::default().peer_timeout_ms;
+        // a long quiet stretch with no crashes: pings keep everyone alive
+        net.run_until(4 * timeout);
+        assert!(net.metrics().counter("pings_sent") > 0);
+        assert_eq!(net.metrics().counter("peers_presumed_dead"), 0);
+        let topic = Topic::new("test");
+        for i in 0..10 {
+            assert!(!net.node(NodeId(i)).mesh_peers(&topic).is_empty());
+        }
     }
 
     #[test]

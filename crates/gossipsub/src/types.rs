@@ -98,6 +98,13 @@ pub enum Rpc {
     Graft(Topic),
     /// Removal from the sender's mesh for a topic.
     Prune(Topic),
+    /// Liveness probe. The simulator has no transport-level connection
+    /// teardown, so peers detect crashed neighbours by pinging quiet ones
+    /// (see `GossipsubConfig::peer_timeout_ms`); a dead peer never
+    /// answers and is pruned from the mesh after the timeout.
+    Ping,
+    /// Answer to a [`Rpc::Ping`].
+    Pong,
 }
 
 impl Payload for Rpc {
@@ -108,6 +115,7 @@ impl Payload for Rpc {
             Rpc::IHave { topic, ids } => 2 + topic.0.len() + 32 * ids.len(),
             Rpc::IWant { ids } => 2 + 32 * ids.len(),
             Rpc::Graft(t) | Rpc::Prune(t) => 2 + t.0.len(),
+            Rpc::Ping | Rpc::Pong => 2,
         }
     }
 }

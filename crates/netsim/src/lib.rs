@@ -6,6 +6,8 @@
 //! reproducible environment (DESIGN.md §2).
 //!
 //! * [`sim`] — event queue, nodes, contexts, deterministic execution,
+//!   churn support (late joins via [`sim::Network::add_node`], crashes
+//!   via [`sim::Network::remove_node`]),
 //! * [`bytes`] — `Arc`-backed shared payload bytes (clone-free gossip
 //!   forwarding with `O(1)` wire-size accounting),
 //! * [`latency`] — link latency and loss models (and the network-delay

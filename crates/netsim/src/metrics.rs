@@ -12,6 +12,10 @@ pub struct Metrics {
     counters: HashMap<String, u64>,
     values: HashMap<String, Vec<f64>>,
     per_node: HashMap<(usize, String), u64>,
+    /// Bytes put on the wire by each node. Kept out of `per_node` because
+    /// it is bumped on every send — a dense `Vec` avoids a string-keyed
+    /// hash insert on the hot path.
+    bytes_sent_per_node: Vec<u64>,
 }
 
 impl Metrics {
@@ -33,6 +37,20 @@ impl Metrics {
     /// Records a sample into the value series `key`.
     pub fn record(&mut self, key: &str, value: f64) {
         self.values.entry(key.to_string()).or_default().push(value);
+    }
+
+    /// Adds `n` bytes to `node`'s wire-output tally (hot path: called on
+    /// every simulated send).
+    pub fn add_node_bytes_sent(&mut self, node: usize, n: u64) {
+        if self.bytes_sent_per_node.len() <= node {
+            self.bytes_sent_per_node.resize(node + 1, 0);
+        }
+        self.bytes_sent_per_node[node] += n;
+    }
+
+    /// Bytes `node` put on the wire so far (0 when it never sent).
+    pub fn node_bytes_sent(&self, node: usize) -> u64 {
+        self.bytes_sent_per_node.get(node).copied().unwrap_or(0)
     }
 
     /// Reads a global counter (0 when absent).
@@ -118,6 +136,18 @@ mod tests {
         assert_eq!(m.node_counter(0, "cpu"), 10);
         assert_eq!(m.node_counter(1, "cpu"), 20);
         assert_eq!(m.node_counter_total("cpu"), 30);
+    }
+
+    #[test]
+    fn node_bytes_sent_is_dense_and_sparse_safe() {
+        let mut m = Metrics::new();
+        m.add_node_bytes_sent(3, 100);
+        m.add_node_bytes_sent(3, 50);
+        m.add_node_bytes_sent(0, 7);
+        assert_eq!(m.node_bytes_sent(3), 150);
+        assert_eq!(m.node_bytes_sent(0), 7);
+        assert_eq!(m.node_bytes_sent(1), 0);
+        assert_eq!(m.node_bytes_sent(99), 0);
     }
 
     #[test]

@@ -184,6 +184,12 @@ impl<'a, M: Payload> Context<'a, M> {
 /// ```
 pub struct Network<N: Node> {
     nodes: Vec<N>,
+    /// Liveness flag per node. `NodeId`s are stable indices, so removal
+    /// deactivates in place: a dead node keeps its slot (and its frozen
+    /// protocol state, inspectable post-mortem) but receives no further
+    /// events — queued deliveries and timers addressed to it are dropped
+    /// at dispatch instead of leaking into its state machine.
+    active: Vec<bool>,
     queue: BinaryHeap<QueuedEvent<N::Message>>,
     latency: Box<dyn LatencyModel>,
     loss_probability: f64,
@@ -199,6 +205,7 @@ impl<N: Node> Network<N> {
     pub fn new<L: LatencyModel + 'static>(latency: L, seed: u64) -> Network<N> {
         Network {
             nodes: Vec::new(),
+            active: Vec::new(),
             queue: BinaryHeap::new(),
             latency: Box::new(latency),
             loss_probability: 0.0,
@@ -227,6 +234,7 @@ impl<N: Node> Network<N> {
     pub fn add_node(&mut self, node: N) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(node);
+        self.active.push(true);
         if self.started {
             let seq = self.next_seq();
             self.push(QueuedEvent {
@@ -239,7 +247,39 @@ impl<N: Node> Network<N> {
         id
     }
 
-    /// Number of nodes.
+    /// Removes a node from the network (simulated crash / leave).
+    ///
+    /// Deactivation, not deletion: ids stay stable and the node's final
+    /// protocol state remains readable through [`Network::node`]. From
+    /// this point on
+    ///
+    /// * messages sent to it are dropped and counted as
+    ///   `messages_to_removed_peer`,
+    /// * its queued timers are discarded at dispatch (counted as
+    ///   `timers_dropped_dead_node`) instead of firing — so periodic
+    ///   timers stop re-arming and cannot leak for the rest of the run,
+    /// * [`Network::invoke`] on it panics.
+    ///
+    /// Returns `false` when the node was already removed (idempotent).
+    pub fn remove_node(&mut self, id: NodeId) -> bool {
+        let was_active = std::mem::replace(&mut self.active[id.0], false);
+        if was_active {
+            self.metrics.count("nodes_removed", 1);
+        }
+        was_active
+    }
+
+    /// Whether a node is still live (added and not removed).
+    pub fn is_active(&self, id: NodeId) -> bool {
+        self.active.get(id.0).copied().unwrap_or(false)
+    }
+
+    /// Number of live nodes (added minus removed).
+    pub fn active_len(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+
+    /// Number of nodes ever added (including removed ones).
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
@@ -283,6 +323,7 @@ impl<N: Node> Network<N> {
         id: NodeId,
         f: impl FnOnce(&mut N, &mut Context<'_, N::Message>) -> R,
     ) -> R {
+        assert!(self.is_active(id), "invoke on removed node {id}");
         self.ensure_started();
         let mut ctx = Context {
             now: self.now,
@@ -351,6 +392,15 @@ impl<N: Node> Network<N> {
 
     fn dispatch(&mut self, event: QueuedEvent<N::Message>) {
         let id = event.node;
+        if !self.active[id.0] {
+            // the node died while this event was in flight
+            match event.kind {
+                EventKind::Deliver { .. } => self.metrics.count("messages_to_removed_peer", 1),
+                EventKind::Timer { .. } => self.metrics.count("timers_dropped_dead_node", 1),
+                EventKind::Start => {}
+            }
+            return;
+        }
         let mut ctx = Context {
             now: self.now,
             node: id,
@@ -378,8 +428,15 @@ impl<N: Node> Network<N> {
                         self.metrics.count("messages_to_unknown_peer", 1);
                         continue;
                     }
+                    if !self.active[to.0] {
+                        // dead peers take no traffic (connection torn down)
+                        self.metrics.count("messages_to_removed_peer", 1);
+                        continue;
+                    }
                     self.metrics.count("messages_sent", 1);
-                    self.metrics.count("bytes_sent", msg.size_bytes() as u64);
+                    let size = msg.size_bytes() as u64;
+                    self.metrics.count("bytes_sent", size);
+                    self.metrics.add_node_bytes_sent(origin.0, size);
                     if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
                         self.metrics.count("messages_lost", 1);
                         continue;
@@ -552,6 +609,96 @@ mod tests {
         net.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(99), b"m".to_vec()));
         net.run_until(100);
         assert_eq!(net.metrics().counter("messages_to_unknown_peer"), 1);
+    }
+
+    #[test]
+    fn removed_node_gets_no_messages_and_its_timers_die() {
+        struct Beacon {
+            heartbeats: u64,
+            received: u64,
+        }
+        impl Node for Beacon {
+            type Message = Vec<u8>;
+            fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+                ctx.set_timer(10, 0);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Vec<u8>>, _: NodeId, _: Vec<u8>) {
+                self.received += 1;
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_, Vec<u8>>, _: u64) {
+                self.heartbeats += 1;
+                ctx.set_timer(10, 0); // periodic: would leak forever if not dropped
+            }
+        }
+        let mut net = Network::new(ConstantLatency(5), 1);
+        let a = net.add_node(Beacon {
+            heartbeats: 0,
+            received: 0,
+        });
+        let b = net.add_node(Beacon {
+            heartbeats: 0,
+            received: 0,
+        });
+        net.run_until(100);
+        assert!(net.node(b).heartbeats >= 9);
+        net.remove_node(b);
+        assert!(!net.is_active(b));
+        assert_eq!(net.active_len(), 1);
+        assert_eq!(net.len(), 2);
+        let heartbeats_at_death = net.node(b).heartbeats;
+        let received_at_death = net.node(b).received;
+
+        // a message already in flight plus a new one: neither is delivered
+        net.invoke(a, |_, ctx| ctx.send(b, b"to the dead".to_vec()));
+        net.run_until(1_000);
+        assert_eq!(
+            net.node(b).heartbeats,
+            heartbeats_at_death,
+            "timer fired after removal"
+        );
+        assert_eq!(
+            net.node(b).received,
+            received_at_death,
+            "message delivered to dead node"
+        );
+        assert!(net.metrics().counter("messages_to_removed_peer") >= 1);
+        // the periodic timer was discarded exactly once, not rescheduled
+        assert_eq!(net.metrics().counter("timers_dropped_dead_node"), 1);
+        assert_eq!(net.metrics().counter("nodes_removed"), 1);
+        // the survivor is unaffected
+        assert!(net.node(a).heartbeats >= 90);
+    }
+
+    #[test]
+    fn remove_node_is_idempotent() {
+        let mut net = ring(3);
+        assert!(net.remove_node(NodeId(1)));
+        assert!(!net.remove_node(NodeId(1)));
+        assert_eq!(net.metrics().counter("nodes_removed"), 1);
+        assert_eq!(net.active_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invoke on removed node")]
+    fn invoke_on_removed_node_panics() {
+        let mut net = ring(3);
+        net.remove_node(NodeId(0));
+        net.invoke(NodeId(0), |_, _| ());
+    }
+
+    #[test]
+    fn per_node_bandwidth_is_attributed_to_the_sender() {
+        let mut net = ring(4);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.seen = true;
+            for n in node.neighbors.clone() {
+                ctx.send(n, vec![0u8; 100]);
+            }
+        });
+        net.run_until(1_000);
+        assert!(net.metrics().node_bytes_sent(0) >= 200);
+        let total: u64 = (0..4).map(|i| net.metrics().node_bytes_sent(i)).sum();
+        assert_eq!(total, net.metrics().counter("bytes_sent"));
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! The scenario executor: turns a [`ScenarioSpec`] into a running world
+//! and distills the run into a [`ScenarioReport`].
+//!
+//! Determinism contract: every random choice — topology, link latencies,
+//! identity material, publisher draws, crash victims, join bootstraps —
+//! derives from `spec.seed`, and simulated time is the only clock. Same
+//! spec, same seed ⇒ byte-identical report (the
+//! `tests/scenario_determinism.rs` suite holds the engine to this).
+
+use crate::report::ScenarioReport;
+use crate::spec::{
+    ChurnAction, DeviceClassSpec, EclipseSpec, LatencySpec, ScenarioSpec, TopologySpec,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use waku_rln_relay::{CostModel, Testbed, TestbedConfig};
+use wakurln_netsim::{topology, NodeId};
+
+/// A newly joined peer needs its registration mined, synced, and a mesh
+/// formed before it can be expected to receive traffic; publishes earlier
+/// than this after its join don't count it as an eligible receiver.
+const JOIN_SYNC_GRACE_MS: u64 = 20_000;
+
+/// What the engine remembers about one honest publish.
+struct PublishRecord {
+    payload: Vec<u8>,
+    publisher: usize,
+    at_ms: u64,
+}
+
+/// One timeline entry (churn before spam before traffic at equal
+/// timestamps — the order adversaries would pick).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Churn(usize),
+    Spam,
+    Traffic(usize),
+}
+
+/// Runs a scenario to completion and reports.
+///
+/// # Panics
+///
+/// Panics when the spec is internally inconsistent (see
+/// [`ScenarioSpec::validate`]).
+pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
+    run_scenario_detailed(spec).0
+}
+
+/// [`run_scenario`], additionally handing back the finished [`Testbed`]
+/// for assertions the report does not cover (ports of hand-wired tests
+/// use this to keep their original fine-grained checks).
+pub fn run_scenario_detailed(spec: &ScenarioSpec) -> (ScenarioReport, Testbed) {
+    spec.validate();
+    let depth = spec.effective_tree_depth();
+    let honest = spec.honest;
+    let spammers = spec.spam.map(|s| s.spammers).unwrap_or(0);
+    let attackers = spec.eclipse.map(|e| e.attackers).unwrap_or(0);
+    let n_initial = spec.initial_peers();
+    let victim: Option<usize> = spec.eclipse.map(|_| 0);
+
+    let (latency_min, latency_max) = match spec.latency {
+        LatencySpec::Constant { ms } => (ms, ms),
+        LatencySpec::Uniform { min_ms, max_ms } => (min_ms, max_ms),
+    };
+    let config = TestbedConfig {
+        n_peers: n_initial,
+        tree_depth: depth,
+        epoch: spec.epoch,
+        degree: match spec.topology {
+            TopologySpec::RandomRegular { degree } => degree,
+            _ => 6,
+        },
+        seed: spec.seed,
+        latency_ms: (latency_min, latency_max),
+        ..TestbedConfig::default()
+    };
+
+    let adjacency = build_adjacency(spec, honest + spammers, attackers);
+    let costs = assign_costs(&spec.devices, honest, n_initial, config.cost);
+    let mut tb = Testbed::build_custom(config, adjacency, |i| costs[i]);
+    if spec.loss > 0.0 {
+        tb.net.set_loss_probability(spec.loss);
+    }
+    for a in 0..attackers {
+        tb.set_censor(honest + spammers + a, true);
+    }
+    let members_start = tb.active_members() as u64;
+
+    // engine-side randomness, independent of the testbed's RNG stream
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x05ca_1ab1_e0dd_ba11);
+
+    // assemble the timeline
+    let mut events: Vec<(u64, EventKind)> = Vec::new();
+    for (i, e) in spec.churn.iter().enumerate() {
+        events.push((e.at_ms, EventKind::Churn(i)));
+    }
+    if let Some(s) = spec.spam {
+        events.push((s.at_ms, EventKind::Spam));
+    }
+    for r in 0..spec.traffic.rounds {
+        events.push((
+            spec.traffic.start_ms + spec.traffic.interval_ms * r as u64,
+            EventKind::Traffic(r),
+        ));
+    }
+    events.sort();
+
+    // run it
+    let mut publishes: Vec<PublishRecord> = Vec::new();
+    let mut spam_payloads: Vec<(usize, Vec<u8>, u64)> = Vec::new();
+    let mut honest_publish_failures = 0u64;
+    let mut spam_attempted = 0u64;
+    let mut spam_send_failures = 0u64;
+    let mut peers_crashed = 0u64;
+    let mut peers_joined = 0u64;
+    // join time per peer id; initial peers joined at 0
+    let mut joined_at: Vec<u64> = vec![0; n_initial];
+
+    for (at_ms, kind) in events {
+        let now = tb.net.now();
+        if at_ms > now {
+            tb.run(at_ms - now, spec.slice_ms);
+        }
+        match kind {
+            EventKind::Churn(i) => match spec.churn[i].action {
+                ChurnAction::Crash { peers } => {
+                    let mut candidates = honest_candidates(&tb, honest, &joined_at, victim);
+                    candidates.shuffle(&mut rng);
+                    for p in candidates.into_iter().take(peers) {
+                        if tb.crash_peer(p) {
+                            peers_crashed += 1;
+                        }
+                    }
+                }
+                ChurnAction::Join { peers } => {
+                    for _ in 0..peers {
+                        let mut candidates = honest_candidates(&tb, honest, &joined_at, victim);
+                        candidates.shuffle(&mut rng);
+                        candidates.truncate(3);
+                        if candidates.is_empty() {
+                            continue;
+                        }
+                        let id = tb.add_peer(&candidates);
+                        debug_assert_eq!(id, joined_at.len());
+                        joined_at.push(at_ms);
+                        peers_joined += 1;
+                    }
+                }
+            },
+            EventKind::Spam => {
+                let s = spec.spam.expect("spam event implies spam spec");
+                for spammer in honest..honest + s.spammers {
+                    for k in 0..s.burst {
+                        spam_attempted += 1;
+                        let payload = format!("spam-{spammer}-{k}").into_bytes();
+                        match tb.publish_spam(spammer, &payload) {
+                            Ok(_) => spam_payloads.push((spammer, payload, tb.net.now())),
+                            Err(_) => spam_send_failures += 1,
+                        }
+                    }
+                }
+            }
+            EventKind::Traffic(round) => {
+                let mut candidates = honest_candidates(&tb, honest, &joined_at, victim);
+                // only synced members can generate proofs
+                candidates.retain(|p| tb.is_member(*p));
+                candidates.shuffle(&mut rng);
+                for p in candidates.into_iter().take(spec.traffic.publishers) {
+                    let payload = format!("r{round}-p{p}").into_bytes();
+                    match tb.publish(p, &payload) {
+                        Ok(_) => publishes.push(PublishRecord {
+                            payload,
+                            publisher: p,
+                            at_ms: tb.net.now(),
+                        }),
+                        Err(_) => honest_publish_failures += 1,
+                    }
+                }
+            }
+        }
+    }
+    let end_ms = spec.duration_ms();
+    let now = tb.net.now();
+    if end_ms > now {
+        tb.run(end_ms - now, spec.slice_ms);
+    }
+
+    // distill
+    let n_total = tb.peer_count();
+    let is_censor = |i: usize| i >= honest + spammers && i < n_initial;
+    // one eligibility rule for every delivery metric (honest and spam):
+    // the receiver is alive at the end, isn't the sender or a censor, and
+    // had joined (plus sync grace) before the publish
+    let eligible_receiver = |i: usize, sender: usize, published_at: u64| {
+        i != sender
+            && !is_censor(i)
+            && tb.is_live(i)
+            && (joined_at[i] == 0 || joined_at[i] + JOIN_SYNC_GRACE_MS <= published_at)
+    };
+    let mut arrivals: HashMap<Vec<u8>, HashMap<usize, u64>> = HashMap::new();
+    for i in 0..n_total {
+        for (payload, at) in tb.net.node(NodeId(i)).app_deliveries() {
+            arrivals.entry(payload).or_default().entry(i).or_insert(at);
+        }
+    }
+
+    let mut pairs_total = 0u64;
+    let mut pairs_delivered = 0u64;
+    let mut victim_pairs = 0u64;
+    let mut victim_delivered = 0u64;
+    let mut samples: Vec<f64> = Vec::new();
+    for publish in &publishes {
+        let delivered_to = arrivals.get(&publish.payload);
+        for i in 0..n_total {
+            if !eligible_receiver(i, publish.publisher, publish.at_ms) {
+                continue;
+            }
+            pairs_total += 1;
+            let arrival = delivered_to.and_then(|m| m.get(&i));
+            if let Some(at) = arrival {
+                pairs_delivered += 1;
+                samples.push(at.saturating_sub(publish.at_ms) as f64);
+            }
+            if Some(i) == victim {
+                victim_pairs += 1;
+                if arrival.is_some() {
+                    victim_delivered += 1;
+                }
+            }
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let percentile = |p: f64| -> Option<f64> {
+        if samples.is_empty() {
+            None
+        } else {
+            let rank = ((samples.len() - 1) as f64 * p).round() as usize;
+            Some(samples[rank])
+        }
+    };
+
+    let mut spam_delivered_majority = 0u64;
+    for (spammer, payload, sent_at) in &spam_payloads {
+        let eligible: Vec<usize> = (0..n_total)
+            .filter(|i| eligible_receiver(*i, *spammer, *sent_at))
+            .collect();
+        let got = arrivals
+            .get(payload)
+            .map(|m| eligible.iter().filter(|i| m.contains_key(i)).count())
+            .unwrap_or(0);
+        if got * 2 >= eligible.len() && !eligible.is_empty() {
+            spam_delivered_majority += 1;
+        }
+    }
+    let spammers_slashed = (honest..honest + spammers)
+        .filter(|s| !tb.is_member(*s))
+        .count() as u64;
+
+    let mut stats_sum = waku_rln_relay::ValidationStats::default();
+    let mut nullifier_max = 0u64;
+    let mut nullifier_sum = 0u64;
+    let mut nullifier_live = 0u64;
+    let mut tree_max = 0u64;
+    let mut bytes_max = 0u64;
+    let mut bytes_sum = 0u64;
+    let mut cpu_max = 0u64;
+    let mut cpu_sum = 0u64;
+    for i in 0..n_total {
+        let node = tb.net.node(NodeId(i));
+        let s = node.validator().stats();
+        stats_sum.valid += s.valid;
+        stats_sum.malformed += s.malformed;
+        stats_sum.invalid_proof += s.invalid_proof;
+        stats_sum.epoch_out_of_window += s.epoch_out_of_window;
+        stats_sum.duplicates += s.duplicates;
+        stats_sum.spam_detected += s.spam_detected;
+        if tb.is_live(i) {
+            let nb = node.validator().nullifier_map_bytes() as u64;
+            nullifier_max = nullifier_max.max(nb);
+            nullifier_sum += nb;
+            nullifier_live += 1;
+            tree_max = tree_max.max(node.membership_storage_bytes() as u64);
+        }
+        let b = tb.net.metrics().node_bytes_sent(i);
+        bytes_max = bytes_max.max(b);
+        bytes_sum += b;
+        let c = tb.net.metrics().node_counter(i, "cpu_micros");
+        cpu_max = cpu_max.max(c);
+        cpu_sum += c;
+    }
+
+    let metrics = tb.net.metrics();
+    let report = ScenarioReport {
+        scenario: spec.name.clone(),
+        seed: spec.seed,
+        peers_initial: n_initial as u64,
+        peers_final_live: tb.live_peer_count() as u64,
+        honest: honest as u64,
+        spammers: spammers as u64,
+        eclipse_attackers: attackers as u64,
+        duration_ms: end_ms,
+        tree_depth: depth as u64,
+        honest_published: publishes.len() as u64,
+        honest_publish_failures,
+        delivery_rate: pairs_delivered as f64 / pairs_total as f64,
+        propagation_p50_ms: percentile(0.50),
+        propagation_p99_ms: percentile(0.99),
+        propagation_max_ms: percentile(1.0),
+        spam_attempted,
+        spam_send_failures,
+        spam_delivered_majority,
+        spam_detections: tb.total_spam_detections(),
+        spammers_slashed,
+        members_start,
+        members_end: tb.active_members() as u64,
+        peers_crashed,
+        peers_joined,
+        messages_sent: metrics.counter("messages_sent"),
+        messages_delivered: metrics.counter("messages_delivered"),
+        messages_to_removed_peer: metrics.counter("messages_to_removed_peer"),
+        bytes_sent: metrics.counter("bytes_sent"),
+        bytes_sent_mean_per_node: bytes_sum as f64 / n_total as f64,
+        bytes_sent_max_node: bytes_max,
+        cpu_micros_mean_per_node: cpu_sum as f64 / n_total as f64,
+        cpu_micros_max_node: cpu_max,
+        valid_total: stats_sum.valid,
+        invalid_proof_total: stats_sum.invalid_proof,
+        epoch_out_of_window_total: stats_sum.epoch_out_of_window,
+        duplicates_total: stats_sum.duplicates,
+        malformed_total: stats_sum.malformed,
+        nullifier_map_max_bytes: nullifier_max,
+        nullifier_map_mean_bytes: nullifier_sum as f64 / nullifier_live.max(1) as f64,
+        membership_tree_max_bytes: tree_max,
+        eclipse_victim_delivery_rate: spec
+            .eclipse
+            .map(|_| victim_delivered as f64 / victim_pairs.max(1) as f64),
+    };
+    (report, tb)
+}
+
+/// Live honest peers (initial honest plus joiners), excluding the
+/// eclipse victim — the pool traffic, crash and bootstrap draws come
+/// from. `joined_at[i]` is peer `i`'s join time (0 for the initial
+/// population), so joiners are exactly the peers with a nonzero entry.
+/// Sorted ascending, so shuffles are reproducible.
+fn honest_candidates(
+    tb: &Testbed,
+    honest: usize,
+    joined_at: &[u64],
+    victim: Option<usize>,
+) -> Vec<usize> {
+    (0..tb.peer_count())
+        .filter(|i| *i < honest || joined_at[*i] > 0)
+        .filter(|i| tb.is_live(*i) && Some(*i) != victim)
+        .collect()
+}
+
+/// Builds the bootstrap adjacency for the whole population: the chosen
+/// topology over honest + spammer peers, plus the eclipse wiring (victim
+/// cut out of the honest graph and ringed by censors) when requested.
+fn build_adjacency(spec: &ScenarioSpec, n_hs: usize, attackers: usize) -> Vec<Vec<NodeId>> {
+    let mut adjacency: Vec<Vec<NodeId>> = match spec.topology {
+        TopologySpec::RandomRegular { degree } => topology::random_regular(n_hs, degree, spec.seed),
+        TopologySpec::Ring => topology::ring(n_hs),
+        TopologySpec::FullMesh => topology::full_mesh(n_hs),
+    };
+    if let Some(EclipseSpec { attackers: k }) = spec.eclipse {
+        debug_assert_eq!(attackers, k);
+        let victim = NodeId(0);
+        // no honest peer may know the victim, or it would graft honest
+        // links into the victim's mesh and break the eclipse
+        for adj in adjacency.iter_mut() {
+            adj.retain(|p| *p != victim);
+        }
+        let attacker_ids: Vec<NodeId> = (n_hs..n_hs + k).map(NodeId).collect();
+        adjacency[0] = attacker_ids.clone();
+        for (j, _) in attacker_ids.iter().enumerate() {
+            // each censor knows the victim and a couple of honest peers,
+            // so it blends into the overlay
+            let mut known = vec![victim];
+            known.push(NodeId(1 + (j % (n_hs - 1))));
+            known.push(NodeId(1 + ((j + 1) % (n_hs - 1))));
+            adjacency.push(known);
+        }
+    } else {
+        debug_assert_eq!(attackers, 0);
+    }
+    adjacency
+}
+
+/// Device classes assigned weighted round-robin over the honest
+/// population; spammers and attackers run the default profile.
+fn assign_costs(
+    devices: &[DeviceClassSpec],
+    honest: usize,
+    n_total: usize,
+    default: CostModel,
+) -> Vec<CostModel> {
+    let mut costs = vec![default; n_total];
+    if devices.is_empty() {
+        return costs;
+    }
+    let total_share: u32 = devices.iter().map(|d| d.share).sum();
+    assert!(total_share > 0, "device shares must not all be zero");
+    // expand the shares into a repeating assignment pattern:
+    // shares [3, 1] → pattern [c0, c0, c0, c1]
+    let pattern: Vec<CostModel> = devices
+        .iter()
+        .flat_map(|d| {
+            std::iter::repeat_n(
+                CostModel {
+                    verify_proof_micros: d.verify_proof_micros,
+                    ..default
+                },
+                d.share as usize,
+            )
+        })
+        .collect();
+    for (i, cost) in costs.iter_mut().take(honest).enumerate() {
+        *cost = pattern[i % pattern.len()];
+    }
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TrafficSpec;
+
+    fn tiny(seed: u64) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::baseline(8, seed);
+        spec.traffic = TrafficSpec {
+            publishers: 2,
+            rounds: 2,
+            start_ms: 8_000,
+            interval_ms: 12_000,
+        };
+        spec.drain_ms = 20_000;
+        spec
+    }
+
+    #[test]
+    fn baseline_delivers() {
+        let report = run_scenario(&tiny(7));
+        assert_eq!(report.peers_initial, 8);
+        assert_eq!(report.honest_published, 4);
+        assert!(report.delivery_rate > 0.9, "rate {}", report.delivery_rate);
+        assert!(report.propagation_p50_ms.is_some());
+        assert_eq!(report.spam_attempted, 0);
+        assert_eq!(report.members_start, 8);
+        assert_eq!(report.members_end, 8);
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let a = run_scenario(&tiny(9)).to_json();
+        let b = run_scenario(&tiny(9)).to_json();
+        assert_eq!(a, b);
+        let c = run_scenario(&tiny(10)).to_json();
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn eclipse_adjacency_cuts_victim_out_of_honest_graph() {
+        let mut spec = ScenarioSpec::baseline(10, 3);
+        spec.eclipse = Some(EclipseSpec { attackers: 4 });
+        let adjacency = build_adjacency(&spec, 10, 4);
+        assert_eq!(adjacency.len(), 14);
+        // victim knows exactly the attackers
+        assert_eq!(
+            adjacency[0],
+            vec![NodeId(10), NodeId(11), NodeId(12), NodeId(13)]
+        );
+        // no honest peer knows the victim
+        for adj in &adjacency[1..10] {
+            assert!(!adj.contains(&NodeId(0)));
+        }
+        // every attacker knows the victim
+        for adj in &adjacency[10..] {
+            assert!(adj.contains(&NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn device_mix_assignment_covers_honest_peers() {
+        let devices = [
+            DeviceClassSpec {
+                name: "phone",
+                verify_proof_micros: 30_000,
+                share: 3,
+            },
+            DeviceClassSpec {
+                name: "server",
+                verify_proof_micros: 1_000,
+                share: 1,
+            },
+        ];
+        let default = CostModel::default();
+        let costs = assign_costs(&devices, 8, 10, default);
+        let phones = costs[..8]
+            .iter()
+            .filter(|c| c.verify_proof_micros == 30_000)
+            .count();
+        let servers = costs[..8]
+            .iter()
+            .filter(|c| c.verify_proof_micros == 1_000)
+            .count();
+        assert_eq!(phones + servers, 8);
+        assert!(phones > servers);
+        // non-honest tail untouched
+        assert_eq!(costs[8].verify_proof_micros, default.verify_proof_micros);
+        assert_eq!(costs[9].verify_proof_micros, default.verify_proof_micros);
+    }
+}

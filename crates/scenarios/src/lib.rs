@@ -1,0 +1,56 @@
+//! # wakurln-scenarios
+//!
+//! The declarative scenario engine: thousand-node adversarial
+//! simulations of WAKU-RLN-RELAY (*Privacy-Preserving Spam-Protected
+//! Gossip-Based Routing*, ICDCS 2022), described as data and replayed
+//! deterministically from a seed.
+//!
+//! A [`ScenarioSpec`] composes, on top of the full testbed
+//! ([`waku_rln_relay::Testbed`] — peers, gossip meshes, simulated chain):
+//!
+//! * a **topology** and **latency/loss model** (`wakurln_netsim`),
+//! * a **node mix** — honest relays, double-signaling spammers (§III),
+//!   censorship-eclipse adversaries, heterogeneous device profiles (§I),
+//! * a **churn schedule** — crashes and §III group-sync joins at
+//!   simulated timestamps,
+//! * **epoch/RLN parameters** — `T`, `D`, and therefore `Thr = ⌈D/T⌉`,
+//! * an honest **traffic schedule**.
+//!
+//! [`run_scenario`] executes the spec and emits a [`ScenarioReport`]:
+//! delivery rate, propagation percentiles, spam containment and
+//! slashing, bandwidth and CPU per node, nullifier-map growth — as
+//! schema-stable JSON (byte-identical for the same spec + seed).
+//!
+//! The [`library`] module ships the six canonical workloads
+//! ([`BUILTIN_NAMES`]); the `simctl` binary (in `wakurln-bench`) runs
+//! them from the command line, including parameter sweeps. See
+//! `docs/SCENARIOS.md` for the full schema reference.
+//!
+//! # Example
+//!
+//! ```
+//! use wakurln_scenarios::{library, run_scenario};
+//!
+//! let mut spec = library::spam_burst(12, 42);
+//! spec.traffic.publishers = 2; // keep the doctest quick
+//! let report = run_scenario(&spec);
+//! assert!(report.spammers_slashed >= 1);
+//! assert!(report.delivery_rate > 0.8);
+//! println!("{}", report.to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod library;
+pub mod report;
+pub mod spec;
+
+pub use engine::{run_scenario, run_scenario_detailed};
+pub use library::{builtin, BUILTIN_NAMES};
+pub use report::ScenarioReport;
+pub use spec::{
+    ChurnAction, ChurnEvent, DeviceClassSpec, EclipseSpec, LatencySpec, ScenarioSpec, SpamSpec,
+    TopologySpec, TrafficSpec,
+};

@@ -1,0 +1,205 @@
+//! The built-in scenario library.
+//!
+//! Six canonical workloads, each parameterized by network size and seed
+//! so the same scenario runs at 8 peers in a unit test and at 1000–2000
+//! peers under `simctl`. Attack intensity and traffic volume scale with
+//! the population. See `docs/SCENARIOS.md` for what each scenario
+//! stresses and which paper claim it exercises.
+
+use crate::spec::{
+    ChurnAction, ChurnEvent, DeviceClassSpec, EclipseSpec, ScenarioSpec, SpamSpec, TrafficSpec,
+};
+use waku_rln_relay::EpochScheme;
+
+/// Names of all built-in scenarios, in canonical order.
+pub const BUILTIN_NAMES: [&str; 6] = [
+    "baseline",
+    "spam_burst",
+    "targeted_eclipse",
+    "heterogeneous_devices",
+    "mass_churn",
+    "epoch_boundary_race",
+];
+
+/// Builds a built-in scenario by name, sized to `nodes` honest peers.
+/// Returns `None` for an unknown name (see [`BUILTIN_NAMES`]).
+pub fn builtin(name: &str, nodes: usize, seed: u64) -> Option<ScenarioSpec> {
+    let spec = match name {
+        "baseline" => baseline(nodes, seed),
+        "spam_burst" => spam_burst(nodes, seed),
+        "targeted_eclipse" => targeted_eclipse(nodes, seed),
+        "heterogeneous_devices" => heterogeneous_devices(nodes, seed),
+        "mass_churn" => mass_churn(nodes, seed),
+        "epoch_boundary_race" => epoch_boundary_race(nodes, seed),
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// Honest relays only: the paper's steady-state. Measures delivery rate,
+/// propagation percentiles and per-node bandwidth with no adversary.
+pub fn baseline(nodes: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::baseline(nodes, seed)
+}
+
+/// The double-signaling flood (§III): ~1% of members spam `burst`
+/// distinct messages inside one epoch. The claim under test: spam is
+/// contained (≤ 1 majority delivery per spammer) and every spammer is
+/// slashed, while honest traffic keeps flowing.
+pub fn spam_burst(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "spam_burst".to_string();
+    spec.spam = Some(SpamSpec {
+        spammers: (nodes / 100).max(1),
+        burst: 6,
+        at_ms: 15_000,
+    });
+    // spam lands between honest rounds so containment and delivery are
+    // measured on the same run
+    spec.drain_ms = 60_000;
+    spec
+}
+
+/// The targeted censorship eclipse: peer 0 bootstraps exclusively to
+/// censoring adversaries who answer control traffic but drop all
+/// forwards. The claim under test: gossip delivers network-wide while
+/// the victim starves — quantifying what a bootstrap-level eclipse buys
+/// an adversary (cf. the gossip-privacy literature's adversary models).
+pub fn targeted_eclipse(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "targeted_eclipse".to_string();
+    spec.eclipse = Some(EclipseSpec {
+        attackers: 8.min(nodes / 2).max(1),
+    });
+    spec
+}
+
+/// Heterogeneous devices (§I "resource-restricted devices"): a mix of
+/// iot-sensor / phone / laptop / server validation profiles. The claim
+/// under test: RLN's validation cost stays feasible for weak devices
+/// (cpu per node scales with the profile, delivery unaffected).
+pub fn heterogeneous_devices(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "heterogeneous_devices".to_string();
+    spec.devices = vec![
+        DeviceClassSpec {
+            name: "iot-sensor",
+            verify_proof_micros: 300_000,
+            share: 1,
+        },
+        DeviceClassSpec {
+            name: "phone",
+            verify_proof_micros: 30_000,
+            share: 4,
+        },
+        DeviceClassSpec {
+            name: "laptop",
+            verify_proof_micros: 5_000,
+            share: 4,
+        },
+        DeviceClassSpec {
+            name: "server",
+            verify_proof_micros: 1_000,
+            share: 1,
+        },
+    ];
+    spec
+}
+
+/// Mass churn: 10% of the network crashes mid-run, more peers join, and
+/// another 10% crashes — with honest rounds before, between and after.
+/// The claim under test: meshes repair around the holes (liveness
+/// sweep, then re-graft) and late joiners bootstrap via §III group
+/// sync, keeping delivery high for the survivors.
+pub fn mass_churn(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "mass_churn".to_string();
+    let tenth = (nodes / 10).max(1);
+    spec.traffic = TrafficSpec {
+        publishers: (nodes / 8).clamp(2, 24),
+        rounds: 4,
+        start_ms: 10_000,
+        interval_ms: 45_000,
+    };
+    spec.churn = vec![
+        ChurnEvent {
+            at_ms: 20_000,
+            action: ChurnAction::Crash { peers: tenth },
+        },
+        ChurnEvent {
+            at_ms: 60_000,
+            action: ChurnAction::Join {
+                peers: (tenth / 2).max(1),
+            },
+        },
+        ChurnEvent {
+            at_ms: 110_000,
+            action: ChurnAction::Crash { peers: tenth },
+        },
+    ];
+    spec.drain_ms = 60_000;
+    spec
+}
+
+/// The epoch-boundary race: high-latency links (up to the full delay
+/// bound `D`) with publish rounds timed moments before each epoch
+/// boundary, so messages are in flight when their epoch expires. The
+/// claim under test: the `Thr = ⌈D/T⌉` window (§III) accepts honest
+/// cross-boundary traffic — deliveries stay high and almost nothing is
+/// dropped as out-of-window.
+pub fn epoch_boundary_race(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "epoch_boundary_race".to_string();
+    let epoch = EpochScheme::new(10, 20_000); // Thr = 2
+    spec.epoch = epoch;
+    spec.latency = crate::spec::LatencySpec::Uniform {
+        min_ms: 200,
+        max_ms: 4_000,
+    };
+    let period = epoch.epoch_secs * 1000;
+    // rounds fire 300 ms before successive epoch boundaries; the mesh has
+    // had two epochs to form
+    spec.traffic = TrafficSpec {
+        publishers: (nodes / 8).clamp(2, 24),
+        rounds: 4,
+        start_ms: 3 * period - 300,
+        interval_ms: period,
+    };
+    spec.drain_ms = 45_000;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_resolves_and_validates() {
+        for name in BUILTIN_NAMES {
+            for nodes in [8, 100, 1000] {
+                let spec = builtin(name, nodes, 1).expect("known name");
+                assert_eq!(spec.name, name);
+                spec.validate();
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(builtin("not-a-scenario", 10, 1).is_none());
+    }
+
+    #[test]
+    fn spam_burst_scales_attackers_with_population() {
+        assert_eq!(spam_burst(100, 1).spam.unwrap().spammers, 1);
+        assert_eq!(spam_burst(1000, 1).spam.unwrap().spammers, 10);
+    }
+
+    #[test]
+    fn boundary_race_rounds_straddle_epochs() {
+        let spec = epoch_boundary_race(50, 1);
+        let period = spec.epoch.epoch_secs * 1000;
+        assert_eq!(spec.traffic.interval_ms, period);
+        assert_eq!((spec.traffic.start_ms + 300) % period, 0);
+    }
+}

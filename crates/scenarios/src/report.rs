@@ -1,0 +1,340 @@
+//! The structured outcome of one scenario run.
+//!
+//! Schema stability is a feature: CI, the sweep driver and downstream
+//! dashboards parse this JSON, so every field is always present (absent
+//! measurements are `null`), field order is fixed, and float formatting
+//! is deterministic. Two runs of the same [`ScenarioSpec`] + seed emit
+//! byte-identical reports.
+//!
+//! [`ScenarioSpec`]: crate::spec::ScenarioSpec
+
+/// Aggregated measurements of one scenario run. See `docs/SCENARIOS.md`
+/// for the field-by-field description of the emitted JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Determinism seed the run used.
+    pub seed: u64,
+    /// Peers at start (honest + spammers + eclipse attackers).
+    pub peers_initial: u64,
+    /// Live peers at the end (crashes subtracted, joins added).
+    pub peers_final_live: u64,
+    /// Honest peers at start.
+    pub honest: u64,
+    /// Spamming members at start.
+    pub spammers: u64,
+    /// Censoring eclipse attackers at start.
+    pub eclipse_attackers: u64,
+    /// Simulated run length, milliseconds.
+    pub duration_ms: u64,
+    /// Membership tree depth used.
+    pub tree_depth: u64,
+
+    /// Honest messages successfully handed to the RLN pipeline.
+    pub honest_published: u64,
+    /// Honest publish attempts refused (rate limit hit, member not yet
+    /// synced, …).
+    pub honest_publish_failures: u64,
+    /// Fraction of (message, eligible receiver) pairs that were
+    /// delivered; eligible receivers are peers alive at the end that had
+    /// joined (plus sync grace) before the publish, minus the publisher
+    /// and the censors.
+    pub delivery_rate: f64,
+    /// Median honest propagation latency, milliseconds (`null` when no
+    /// honest message was delivered).
+    pub propagation_p50_ms: Option<f64>,
+    /// 99th-percentile honest propagation latency, milliseconds.
+    pub propagation_p99_ms: Option<f64>,
+    /// Worst observed honest propagation latency, milliseconds.
+    pub propagation_max_ms: Option<f64>,
+
+    /// Spam messages the attackers handed to the network.
+    pub spam_attempted: u64,
+    /// Spam attempts that failed at the source (membership already
+    /// slashed mid-burst).
+    pub spam_send_failures: u64,
+    /// Distinct spam payloads that reached a majority of eligible
+    /// receivers (the paper's containment metric: should stay ≤ 1 per
+    /// spammer).
+    pub spam_delivered_majority: u64,
+    /// Double-signal detections summed over all validators.
+    pub spam_detections: u64,
+    /// Spammers whose membership was slashed on chain by the end.
+    pub spammers_slashed: u64,
+
+    /// Contract members after initial registration.
+    pub members_start: u64,
+    /// Contract members at the end (slashing subtracts, joins add).
+    pub members_end: u64,
+    /// Peers crashed by the churn schedule.
+    pub peers_crashed: u64,
+    /// Peers joined by the churn schedule.
+    pub peers_joined: u64,
+
+    /// Wire messages sent (post loss/removal filtering).
+    pub messages_sent: u64,
+    /// Wire messages delivered.
+    pub messages_delivered: u64,
+    /// Wire messages dropped because the destination had crashed.
+    pub messages_to_removed_peer: u64,
+    /// Total bytes on the wire.
+    pub bytes_sent: u64,
+    /// Mean bytes sent per peer (over every peer that ever lived).
+    pub bytes_sent_mean_per_node: f64,
+    /// Bytes sent by the busiest peer.
+    pub bytes_sent_max_node: u64,
+    /// Mean simulated validation CPU per peer, microseconds.
+    pub cpu_micros_mean_per_node: f64,
+    /// Simulated validation CPU of the busiest peer, microseconds.
+    pub cpu_micros_max_node: u64,
+
+    /// Accepted messages summed over all validators.
+    pub valid_total: u64,
+    /// Proof rejections summed over all validators.
+    pub invalid_proof_total: u64,
+    /// Epoch-window rejections summed over all validators (the §III
+    /// `Thr` filter; nonzero under replay attacks or boundary races).
+    pub epoch_out_of_window_total: u64,
+    /// Exact duplicates summed over all validators.
+    pub duplicates_total: u64,
+    /// Undecodable frames summed over all validators.
+    pub malformed_total: u64,
+
+    /// Largest nullifier map across live peers at the end, bytes (E8:
+    /// must stay bounded by the `Thr` window GC).
+    pub nullifier_map_max_bytes: u64,
+    /// Mean nullifier map across live peers at the end, bytes.
+    pub nullifier_map_mean_bytes: f64,
+    /// Largest light membership tree across live peers, bytes (E3).
+    pub membership_tree_max_bytes: u64,
+
+    /// Delivery rate seen by the eclipse victim alone (`null` when the
+    /// scenario has no eclipse attack).
+    pub eclipse_victim_delivery_rate: Option<f64>,
+}
+
+/// Escapes a string for embedding in a JSON string literal (scenario
+/// names are caller-chosen, so quotes/backslashes/control characters
+/// must not corrupt the output).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+}
+
+impl ScenarioReport {
+    /// Serializes as a flat JSON object (hand-rolled; the workspace has
+    /// no serde data formats). Field order and float formatting are
+    /// fixed, so identical runs produce identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        let mut field = |key: &str, value: String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("  \"{key}\": {value}"));
+        };
+        field("scenario", json_string(&self.scenario));
+        field("seed", self.seed.to_string());
+        field("peers_initial", self.peers_initial.to_string());
+        field("peers_final_live", self.peers_final_live.to_string());
+        field("honest", self.honest.to_string());
+        field("spammers", self.spammers.to_string());
+        field("eclipse_attackers", self.eclipse_attackers.to_string());
+        field("duration_ms", self.duration_ms.to_string());
+        field("tree_depth", self.tree_depth.to_string());
+        field("honest_published", self.honest_published.to_string());
+        field(
+            "honest_publish_failures",
+            self.honest_publish_failures.to_string(),
+        );
+        field("delivery_rate", json_f64(self.delivery_rate));
+        field("propagation_p50_ms", json_opt(self.propagation_p50_ms));
+        field("propagation_p99_ms", json_opt(self.propagation_p99_ms));
+        field("propagation_max_ms", json_opt(self.propagation_max_ms));
+        field("spam_attempted", self.spam_attempted.to_string());
+        field("spam_send_failures", self.spam_send_failures.to_string());
+        field(
+            "spam_delivered_majority",
+            self.spam_delivered_majority.to_string(),
+        );
+        field("spam_detections", self.spam_detections.to_string());
+        field("spammers_slashed", self.spammers_slashed.to_string());
+        field("members_start", self.members_start.to_string());
+        field("members_end", self.members_end.to_string());
+        field("peers_crashed", self.peers_crashed.to_string());
+        field("peers_joined", self.peers_joined.to_string());
+        field("messages_sent", self.messages_sent.to_string());
+        field("messages_delivered", self.messages_delivered.to_string());
+        field(
+            "messages_to_removed_peer",
+            self.messages_to_removed_peer.to_string(),
+        );
+        field("bytes_sent", self.bytes_sent.to_string());
+        field(
+            "bytes_sent_mean_per_node",
+            json_f64(self.bytes_sent_mean_per_node),
+        );
+        field("bytes_sent_max_node", self.bytes_sent_max_node.to_string());
+        field(
+            "cpu_micros_mean_per_node",
+            json_f64(self.cpu_micros_mean_per_node),
+        );
+        field("cpu_micros_max_node", self.cpu_micros_max_node.to_string());
+        field("valid_total", self.valid_total.to_string());
+        field("invalid_proof_total", self.invalid_proof_total.to_string());
+        field(
+            "epoch_out_of_window_total",
+            self.epoch_out_of_window_total.to_string(),
+        );
+        field("duplicates_total", self.duplicates_total.to_string());
+        field("malformed_total", self.malformed_total.to_string());
+        field(
+            "nullifier_map_max_bytes",
+            self.nullifier_map_max_bytes.to_string(),
+        );
+        field(
+            "nullifier_map_mean_bytes",
+            json_f64(self.nullifier_map_mean_bytes),
+        );
+        field(
+            "membership_tree_max_bytes",
+            self.membership_tree_max_bytes.to_string(),
+        );
+        field(
+            "eclipse_victim_delivery_rate",
+            json_opt(self.eclipse_victim_delivery_rate),
+        );
+        let _ = &mut field;
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// One human line for progress output (stderr; the JSON goes to
+    /// stdout/files).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{}: {} peers, delivery {:.3}, p50 {} ms, spam {}/{} contained, {} slashed, {} crashed/{} joined",
+            self.scenario,
+            self.peers_initial,
+            self.delivery_rate,
+            self.propagation_p50_ms
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "-".to_string()),
+            self.spam_attempted - self.spam_delivered_majority,
+            self.spam_attempted,
+            self.spammers_slashed,
+            self.peers_crashed,
+            self.peers_joined,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> ScenarioReport {
+        ScenarioReport {
+            scenario: "t".to_string(),
+            seed: 1,
+            peers_initial: 10,
+            peers_final_live: 9,
+            honest: 10,
+            spammers: 0,
+            eclipse_attackers: 0,
+            duration_ms: 1000,
+            tree_depth: 10,
+            honest_published: 5,
+            honest_publish_failures: 0,
+            delivery_rate: 0.987654321,
+            propagation_p50_ms: Some(123.0),
+            propagation_p99_ms: Some(456.0),
+            propagation_max_ms: None,
+            spam_attempted: 0,
+            spam_send_failures: 0,
+            spam_delivered_majority: 0,
+            spam_detections: 0,
+            spammers_slashed: 0,
+            members_start: 10,
+            members_end: 10,
+            peers_crashed: 1,
+            peers_joined: 0,
+            messages_sent: 100,
+            messages_delivered: 90,
+            messages_to_removed_peer: 3,
+            bytes_sent: 9999,
+            bytes_sent_mean_per_node: 999.9,
+            bytes_sent_max_node: 2000,
+            cpu_micros_mean_per_node: 1.5,
+            cpu_micros_max_node: 3,
+            valid_total: 45,
+            invalid_proof_total: 0,
+            epoch_out_of_window_total: 0,
+            duplicates_total: 2,
+            malformed_total: 0,
+            nullifier_map_max_bytes: 640,
+            nullifier_map_mean_bytes: 320.0,
+            membership_tree_max_bytes: 1300,
+            eclipse_victim_delivery_rate: None,
+        }
+    }
+
+    #[test]
+    fn json_has_fixed_schema_and_null_for_absent() {
+        let json = dummy().to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"scenario\": \"t\""));
+        assert!(json.contains("\"delivery_rate\": 0.987654"));
+        assert!(json.contains("\"propagation_max_ms\": null"));
+        assert!(json.contains("\"eclipse_victim_delivery_rate\": null"));
+        // no trailing comma before the closing brace
+        assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn identical_reports_serialize_identically() {
+        assert_eq!(dummy().to_json(), dummy().to_json());
+    }
+
+    #[test]
+    fn scenario_names_are_json_escaped() {
+        let mut report = dummy();
+        report.scenario = "my\"run\\with\nweird chars".to_string();
+        let json = report.to_json();
+        assert!(json.contains("\"scenario\": \"my\\\"run\\\\with\\nweird chars\""));
+    }
+
+    #[test]
+    fn summary_line_mentions_scenario() {
+        assert!(dummy().summary_line().starts_with("t: 10 peers"));
+    }
+}

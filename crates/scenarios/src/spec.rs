@@ -1,0 +1,333 @@
+//! The declarative scenario description.
+//!
+//! A [`ScenarioSpec`] is a complete, self-contained description of one
+//! simulated world: how many peers of which kinds, how they are wired,
+//! what the links look like, who publishes when, who attacks how, and
+//! which peers crash or join at which simulated timestamps. Given the
+//! same spec and seed, the engine replays the exact same run — the
+//! resulting [`ScenarioReport`](crate::report::ScenarioReport) is
+//! byte-identical.
+
+use waku_rln_relay::EpochScheme;
+
+/// Bootstrap-topology family (the shapes used in p2p evaluations; the
+/// GossipSub paper evaluates on random regular-ish graphs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// Random graph, each peer bootstrapped with `degree` random peers
+    /// (edges symmetrized).
+    RandomRegular {
+        /// Bootstrap degree per peer.
+        degree: usize,
+    },
+    /// A ring — worst-case diameter, used for propagation stress.
+    Ring,
+    /// Every peer knows every other peer (small networks only).
+    FullMesh,
+}
+
+/// Link latency family (mirrors `wakurln_netsim::latency`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencySpec {
+    /// Fixed latency on every link.
+    Constant {
+        /// One-way delay, milliseconds.
+        ms: u64,
+    },
+    /// Uniformly random latency in `[min_ms, max_ms]`.
+    Uniform {
+        /// Lower bound (inclusive), milliseconds.
+        min_ms: u64,
+        /// Upper bound (inclusive), milliseconds.
+        max_ms: u64,
+    },
+}
+
+/// Honest traffic: recurring publish rounds.
+///
+/// Each round, `publishers` distinct live honest members publish one
+/// unique payload each through the full RLN pipeline (proof generation,
+/// epoch nullifier, rate limit).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficSpec {
+    /// Publishers per round.
+    pub publishers: usize,
+    /// Number of rounds.
+    pub rounds: usize,
+    /// Simulated time of the first round, milliseconds (leave room for
+    /// mesh formation).
+    pub start_ms: u64,
+    /// Gap between rounds, milliseconds. Keep it above the epoch length
+    /// if the same peer may be drawn twice, or the local rate limiter
+    /// refuses the second publish.
+    pub interval_ms: u64,
+}
+
+/// The double-signaling spam attack: `spammers` adversarial members each
+/// publish `burst` distinct messages inside one epoch at `at_ms`,
+/// bypassing their local rate limiters (§III — only the network-side
+/// nullifier maps can catch this).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpamSpec {
+    /// Number of spamming members.
+    pub spammers: usize,
+    /// Distinct messages per spammer inside the epoch.
+    pub burst: usize,
+    /// When the burst fires, milliseconds.
+    pub at_ms: u64,
+}
+
+/// What happens at one churn timestamp.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnAction {
+    /// `peers` live honest peers crash (process death: no goodbye, no
+    /// slash — their stake stays on the contract).
+    Crash {
+        /// How many peers die.
+        peers: usize,
+    },
+    /// `peers` fresh peers join: new identity, registration transaction,
+    /// full §III group-synchronization bootstrap from the replay log.
+    Join {
+        /// How many peers join.
+        peers: usize,
+    },
+}
+
+/// One entry of the churn schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnEvent {
+    /// Simulated time the event fires, milliseconds.
+    pub at_ms: u64,
+    /// What happens.
+    pub action: ChurnAction,
+}
+
+/// The targeted censorship-eclipse attack: peer 0 (the victim) is
+/// bootstrapped **exclusively** to `attackers` adversarial peers, and no
+/// honest peer knows the victim. The attackers answer all control
+/// traffic (subscriptions, grafts, pings) but silently drop every
+/// message forward — the victim sees a healthy-looking mesh that never
+/// delivers anything.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EclipseSpec {
+    /// Size of the censoring bootstrap ring around the victim.
+    pub attackers: usize,
+}
+
+/// A device class for heterogeneous-network scenarios: a name, a proof
+/// verification cost (the dominant validation cost, §IV: ≈30 ms on an
+/// iPhone 8) and a relative share of the honest population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceClassSpec {
+    /// Class label (reporting only).
+    pub name: &'static str,
+    /// Simulated zkSNARK verification cost, microseconds.
+    pub verify_proof_micros: u64,
+    /// Relative weight when assigning classes round-robin.
+    pub share: u32,
+}
+
+/// The full declarative scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (report label; built-ins use their library name).
+    pub name: String,
+    /// Honest peers at start (includes the eclipse victim, when any).
+    pub honest: usize,
+    /// Determinism seed: topology, latencies, identity material, traffic
+    /// draws and churn draws all derive from it.
+    pub seed: u64,
+    /// Membership tree depth; `0` = auto-size from the peer count.
+    pub tree_depth: usize,
+    /// Bootstrap topology for the honest population.
+    pub topology: TopologySpec,
+    /// Link latency model.
+    pub latency: LatencySpec,
+    /// I.i.d. packet-loss probability applied to every send.
+    pub loss: f64,
+    /// Epoch scheme (length `T` and delay bound `D` → `Thr = ⌈D/T⌉`).
+    pub epoch: EpochScheme,
+    /// Honest traffic schedule.
+    pub traffic: TrafficSpec,
+    /// Spam attack, if any.
+    pub spam: Option<SpamSpec>,
+    /// Churn schedule (must be sorted by `at_ms`; the engine asserts).
+    pub churn: Vec<ChurnEvent>,
+    /// Targeted eclipse attack, if any.
+    pub eclipse: Option<EclipseSpec>,
+    /// Device mix; empty = every peer uses the default cost model.
+    pub devices: Vec<DeviceClassSpec>,
+    /// Cool-down after the last scheduled event, milliseconds — time for
+    /// gossip recovery, detection, slashing and sync to play out.
+    pub drain_ms: u64,
+    /// Lock-step slice for world advancement, milliseconds (network ↔
+    /// chain synchronization granularity).
+    pub slice_ms: u64,
+}
+
+impl ScenarioSpec {
+    /// A quiet, attack-free starting point: `honest` peers on a random
+    /// regular graph with internet-ish uniform latency, default epochs,
+    /// and a small recurring traffic schedule. Library scenarios start
+    /// from this and layer adversities on top.
+    pub fn baseline(honest: usize, seed: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "baseline".to_string(),
+            honest,
+            seed,
+            tree_depth: 0,
+            topology: TopologySpec::RandomRegular { degree: 6 },
+            latency: LatencySpec::Uniform {
+                min_ms: 10,
+                max_ms: 80,
+            },
+            loss: 0.0,
+            epoch: EpochScheme::default(),
+            traffic: TrafficSpec {
+                publishers: (honest / 8).clamp(2, 24),
+                rounds: 3,
+                start_ms: 10_000,
+                interval_ms: 12_000,
+            },
+            spam: None,
+            churn: Vec::new(),
+            eclipse: None,
+            devices: Vec::new(),
+            drain_ms: 40_000,
+            slice_ms: 1_000,
+        }
+    }
+
+    /// Total peers at simulation start (honest + spammers + eclipse
+    /// attackers).
+    pub fn initial_peers(&self) -> usize {
+        self.honest
+            + self.spam.map(|s| s.spammers).unwrap_or(0)
+            + self.eclipse.map(|e| e.attackers).unwrap_or(0)
+    }
+
+    /// The tree depth actually used: explicit, or auto-sized to hold the
+    /// initial population plus scheduled joins with headroom.
+    pub fn effective_tree_depth(&self) -> usize {
+        if self.tree_depth != 0 {
+            return self.tree_depth;
+        }
+        let joins: usize = self
+            .churn
+            .iter()
+            .map(|e| match e.action {
+                ChurnAction::Join { peers } => peers,
+                ChurnAction::Crash { .. } => 0,
+            })
+            .sum();
+        let capacity_needed = (self.initial_peers() + joins) * 2;
+        let mut depth = 10;
+        while (1usize << depth) < capacity_needed {
+            depth += 1;
+        }
+        depth.min(20)
+    }
+
+    /// Simulated end time: last scheduled event plus the drain window.
+    pub fn duration_ms(&self) -> u64 {
+        let last_traffic = self.traffic.start_ms
+            + self.traffic.interval_ms * self.traffic.rounds.saturating_sub(1) as u64;
+        let last_spam = self.spam.map(|s| s.at_ms).unwrap_or(0);
+        let last_churn = self.churn.last().map(|e| e.at_ms).unwrap_or(0);
+        last_traffic.max(last_spam).max(last_churn) + self.drain_ms
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an impossible spec (no peers, unsorted churn, loss out
+    /// of range, zero slice, eclipse without enough honest peers).
+    pub fn validate(&self) {
+        assert!(self.honest >= 2, "need at least two honest peers");
+        assert!((0.0..=1.0).contains(&self.loss), "loss out of range");
+        assert!(self.slice_ms > 0, "slice must be positive");
+        assert!(
+            self.churn.windows(2).all(|w| w[0].at_ms <= w[1].at_ms),
+            "churn schedule must be sorted by time"
+        );
+        if let Some(e) = self.eclipse {
+            assert!(e.attackers >= 1, "eclipse needs at least one attacker");
+            assert!(
+                self.honest >= 3,
+                "eclipse needs a victim plus honest bystanders"
+            );
+        }
+        if let Some(s) = self.spam {
+            assert!(s.spammers >= 1 && s.burst >= 2, "spam needs a real burst");
+        }
+        let depth = self.effective_tree_depth();
+        assert!(
+            (1usize << depth) >= self.initial_peers(),
+            "tree depth {depth} cannot hold {} peers",
+            self.initial_peers()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_valid_at_many_sizes() {
+        for n in [2, 8, 100, 1000, 2000] {
+            ScenarioSpec::baseline(n, 1).validate();
+        }
+    }
+
+    #[test]
+    fn auto_depth_scales_with_population() {
+        let small = ScenarioSpec::baseline(8, 1);
+        assert_eq!(small.effective_tree_depth(), 10); // floor
+        let big = ScenarioSpec::baseline(2000, 1);
+        assert!((1 << big.effective_tree_depth()) >= 4000);
+        let mut with_joins = ScenarioSpec::baseline(500, 1);
+        with_joins.churn.push(ChurnEvent {
+            at_ms: 1000,
+            action: ChurnAction::Join { peers: 600 },
+        });
+        assert!((1 << with_joins.effective_tree_depth()) >= 2200);
+    }
+
+    #[test]
+    fn duration_covers_last_event_plus_drain() {
+        let mut spec = ScenarioSpec::baseline(8, 1);
+        spec.traffic = TrafficSpec {
+            publishers: 2,
+            rounds: 2,
+            start_ms: 10_000,
+            interval_ms: 12_000,
+        };
+        spec.drain_ms = 5_000;
+        assert_eq!(spec.duration_ms(), 27_000);
+        spec.churn.push(ChurnEvent {
+            at_ms: 60_000,
+            action: ChurnAction::Crash { peers: 1 },
+        });
+        assert_eq!(spec.duration_ms(), 65_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by time")]
+    fn unsorted_churn_rejected() {
+        let mut spec = ScenarioSpec::baseline(8, 1);
+        spec.churn = vec![
+            ChurnEvent {
+                at_ms: 2000,
+                action: ChurnAction::Crash { peers: 1 },
+            },
+            ChurnEvent {
+                at_ms: 1000,
+                action: ChurnAction::Crash { peers: 1 },
+            },
+        ];
+        spec.validate();
+    }
+}

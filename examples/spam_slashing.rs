@@ -3,52 +3,61 @@
 //! Shamir shares, and they are slashed on the membership contract — half
 //! the stake burnt, half rewarded to the detecting peer (paper §II/§III).
 //!
+//! Ported to the scenario engine: the attack is one `SpamSpec` line in a
+//! declarative `ScenarioSpec` instead of hand-driven testbed calls; the
+//! engine's `ScenarioReport` carries the containment numbers, and the
+//! returned testbed still lets us follow the money on chain.
+//!
 //! Run with: `cargo run --example spam_slashing`
 
-use waku_rln_relay::{Testbed, TestbedConfig};
 use wakurln_ethsim::types::{Address, ETHER};
+use wakurln_scenarios::{run_scenario_detailed, ScenarioSpec, SpamSpec};
 
 fn main() {
     println!("== double-signaling → detection → slashing ==");
-    let mut testbed = Testbed::build(TestbedConfig {
-        n_peers: 10,
-        tree_depth: 12,
-        degree: 4,
-        seed: 7,
-        ..Default::default()
+
+    // The world: 10 peers; one of them (the engine assigns the id after
+    // the honest population) bursts two different messages in one epoch,
+    // bypassing its local rate limiter — only the network-side nullifier
+    // maps can catch this.
+    let mut spec = ScenarioSpec::baseline(9, 7);
+    spec.name = "spam_slashing".to_string();
+    spec.tree_depth = 12;
+    spec.spam = Some(SpamSpec {
+        spammers: 1,
+        burst: 2,
+        at_ms: 15_000,
     });
-    testbed.run(8_000, 1_000);
+    spec.drain_ms = 60_000;
+    let spammer = spec.honest; // spammers follow the honest block
 
-    let spammer = 4usize;
-    let spammer_address = testbed.address(spammer);
     println!(
-        "spammer (peer {spammer}) balance before: {} wei, members: {}",
-        testbed.chain.balance_of(spammer_address),
-        testbed.active_members(),
+        "running scenario '{}': {} peers, seed {}",
+        spec.name,
+        spec.initial_peers(),
+        spec.seed
     );
+    let (report, testbed) = run_scenario_detailed(&spec);
 
-    // The attack: two *different* messages in one epoch. The attacker's
-    // own node bypasses its local rate limiter — only the network-side
-    // nullifier maps can catch this.
-    testbed
-        .publish_spam(spammer, b"spam message one")
-        .expect("member can sign");
-    testbed
-        .publish_spam(spammer, b"spam message two")
-        .expect("member can sign");
-    println!("spammer published two messages in one epoch (double-signal)");
-
-    // Routing peers see both signals with the same internal nullifier,
-    // combine the shares, reconstruct sk, and submit slash transactions.
-    testbed.run(40_000, 1_000);
-
+    // Routing peers saw both signals with the same internal nullifier,
+    // combined the shares, reconstructed sk, and submitted slash
+    // transactions.
+    println!("spam messages attempted: {}", report.spam_attempted);
     println!(
         "spam detections across validators: {}",
-        testbed.total_spam_detections()
+        report.spam_detections
     );
-    println!("members after slashing: {}", testbed.active_members());
-    assert_eq!(testbed.active_members(), 9, "spammer must be removed");
+    println!("members after slashing: {}", report.members_end);
+    assert_eq!(report.spammers_slashed, 1, "spammer must be slashed");
+    assert_eq!(report.members_end, 9, "spammer must be removed");
     assert!(!testbed.is_member(spammer), "spammer lost membership");
+
+    // Spam was contained while honest traffic flowed.
+    println!(
+        "honest delivery rate: {:.3}, spam majority deliveries: {}",
+        report.delivery_rate, report.spam_delivered_majority
+    );
+    assert!(report.spam_delivered_majority <= 1);
 
     // Follow the money.
     let burned = testbed.chain.balance_of(Address::BURN);
@@ -56,18 +65,12 @@ fn main() {
         "burnt stake: {burned} wei ({}% of 1 ETH)",
         burned * 100 / ETHER
     );
-    for peer in 0..10 {
+    for peer in 0..testbed.peer_count() {
         let balance = testbed.chain.balance_of(testbed.address(peer));
         let delta = balance as i128 - (100 * ETHER - ETHER) as i128;
         if delta > 0 {
             println!("peer {peer} earned the slashing reward: +{delta} wei");
         }
-    }
-
-    // And the spammer can no longer publish at all: no membership proof.
-    match testbed.publish(spammer, b"let me back in") {
-        Err(e) => println!("spammer publish attempt refused: {e}"),
-        Ok(_) => unreachable!("slashed member cannot prove membership"),
     }
     println!("done.");
 }

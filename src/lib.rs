@@ -14,6 +14,8 @@
 //! * [`relay`] — WAKU-RELAY (anonymous pub/sub)
 //! * [`core`] — WAKU-RLN-RELAY itself (the paper's contribution)
 //! * [`baselines`] — PoW and peer-scoring comparators + attack library
+//! * [`scenarios`] — the declarative scenario engine (thousand-node
+//!   adversarial simulations, `simctl`)
 //!
 //! # Example
 //!
@@ -43,4 +45,5 @@ pub use wakurln_gossipsub as gossipsub;
 pub use wakurln_netsim as netsim;
 pub use wakurln_relay as relay;
 pub use wakurln_rln as rln;
+pub use wakurln_scenarios as scenarios;
 pub use wakurln_zksnark as zksnark;

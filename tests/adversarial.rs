@@ -2,8 +2,9 @@
 //! forged proofs, non-members, malformed frames, packet loss, and the
 //! comparison baselines.
 
-use waku_rln::baselines::{double_signal_burst, epoch_replay_attack, run_peer_scoring, Scenario};
+use waku_rln::baselines::{epoch_replay_attack, run_peer_scoring, Scenario};
 use waku_rln::core::{EpochScheme, Testbed, TestbedConfig};
+use waku_rln::scenarios::{run_scenario, ScenarioSpec, SpamSpec};
 
 use waku_rln::netsim::NodeId;
 use waku_rln::relay::WakuMessage;
@@ -33,11 +34,22 @@ fn replay_attack_blocked_outside_thr_window() {
 
 #[test]
 fn burst_spammer_is_neutralized() {
-    let mut tb = build(8, 11);
-    let report = double_signal_burst(&mut tb, 1, 6);
-    assert!(report.slashed);
-    assert!(report.detections >= 1);
-    assert!(report.delivered_majority <= 1);
+    // ported to the scenario engine: same world (8 honest peers, one
+    // member bursting 6 double-signals), same assertions, now against
+    // the ScenarioReport instead of hand-driven attack plumbing
+    let mut spec = ScenarioSpec::baseline(8, 11);
+    spec.name = "burst".to_string();
+    spec.tree_depth = 12;
+    spec.spam = Some(SpamSpec {
+        spammers: 1,
+        burst: 6,
+        at_ms: 15_000,
+    });
+    spec.drain_ms = 60_000;
+    let report = run_scenario(&spec);
+    assert_eq!(report.spammers_slashed, 1, "attacker kept membership");
+    assert!(report.spam_detections >= 1);
+    assert!(report.spam_delivered_majority <= 1);
 }
 
 #[test]
