@@ -10,7 +10,7 @@
 //!   (WAKU-RLN-RELAY vs peer scoring vs PoW), comparable outcome rows.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod attacks;
 pub mod comparison;

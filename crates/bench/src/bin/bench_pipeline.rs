@@ -1,0 +1,66 @@
+//! Emits `BENCH_pipeline.json`: batched validation pipeline vs the
+//! serial §III validator on the relay wire workload (batch-size sweep,
+//! wall-clock and modeled-cost throughput, tail latency, cache hit
+//! rate). See `PERF.md` ("Batched validation") for the protocol.
+//!
+//! Usage: `cargo run --release -p wakurln-bench --bin bench_pipeline
+//! [-- --dup-factor N] [--publishers N] [--reps N] [--out PATH]`.
+
+use wakurln_bench::pipeline_report::{run, PipelineReportConfig};
+
+fn main() {
+    let mut config = PipelineReportConfig::default();
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut args = std::env::args().skip(1);
+    let parse = |value: Option<String>, what: &str| -> usize {
+        value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{what} needs an integer");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dup-factor" => config.dup_factor = parse(args.next(), "--dup-factor"),
+            "--publishers" => config.publishers = parse(args.next(), "--publishers"),
+            "--rounds" => config.rounds = parse(args.next(), "--rounds"),
+            "--reps" => config.repetitions = parse(args.next(), "--reps"),
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                };
+                out_path = path;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_pipeline [--dup-factor N] [--publishers N] \
+                     [--rounds N] [--reps N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "measuring batched validation: {} publishers x {} rounds, dup factor {}, {} reps...",
+        config.publishers, config.rounds, config.dup_factor, config.repetitions
+    );
+    let report = run(config);
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).expect("write report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    eprintln!(
+        "wall: serial {:.0} msg/s -> batch-64 {:.0} msg/s ({:.2}x) | calibrated device: {:.1} -> {:.1} msg/s ({:.1}x) | {} proofs for {} frames ({:.0}% skipped)",
+        report.serial_msgs_per_sec,
+        report.msgs_per_sec_at_64,
+        report.speedup_at_64,
+        report.device_msgs_per_sec_serial,
+        report.device_msgs_per_sec_at_64,
+        report.modeled_cpu_speedup_at_64,
+        report.proofs_verified_at_64,
+        report.workload_messages,
+        report.cache_hit_rate_at_64 * 100.0,
+    );
+}

@@ -6,9 +6,10 @@
 //! mapping).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod crypto_report;
+pub mod pipeline_report;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

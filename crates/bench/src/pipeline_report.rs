@@ -1,0 +1,518 @@
+//! The `BENCH_pipeline.json` batched-validation throughput report.
+//!
+//! Measures the staged batch pipeline
+//! ([`waku_rln_relay::pipeline`]) against the serial per-message
+//! validator on a **relay wire workload**: the stream of RLN frames a
+//! relay's validation layer must absorb, reproduced from the scenario
+//! engine's traffic shape. Honest publishers send one unique signal per
+//! epoch round; each signal crosses the validator `dup_factor` times —
+//! the default of 6 matches the GossipSub mesh degree (`mesh_n`), i.e.
+//! the fan-in a relay faces when message-id dedup above the validator is
+//! bypassed (adversarially re-wrapped envelopes produce fresh message
+//! ids around the same signal) or expired (`seen_ttl_ms`). A
+//! double-signaling spam burst rides along, replayed at the same factor.
+//!
+//! The serial §III validator pays a full proof verification for every
+//! copy; the pipeline resolves copies from its statement-digest cache
+//! and batch-dedup before any zkSNARK work, so the sweep isolates
+//! exactly what stage 2 buys. Outcome equality with the serial validator
+//! is asserted on every run before numbers are reported.
+//!
+//! Two throughput series are emitted. The **wall-clock** series times
+//! this process — but the simulated backend verifies with a µs-scale
+//! MAC, three orders of magnitude cheaper than the ≈30 ms pairing check
+//! the paper measures on devices, so wall-clock understates the win.
+//! The **calibrated device** series (`device_msgs_per_sec_*`) prices
+//! each message with the workspace's [`CostModel`] (full verification
+//! charged only where the zkSNARK actually ran) — the apples-to-apples
+//! relay-throughput comparison, consistent with every other E6/E9 CPU
+//! number in this repository.
+
+use std::time::{Duration, Instant};
+use waku_rln_relay::{
+    encode_signal, CostModel, EpochScheme, PipelineConfig, RlnValidator, ValidationStats,
+    WireSignal,
+};
+use wakurln_gossipsub::{SubmitOutcome, Topic, Validator};
+use wakurln_relay::WakuMessage;
+use wakurln_rln::{create_signal, Identity, RlnGroup};
+use wakurln_zksnark::{RlnCircuit, SimSnark};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration for one report run.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineReportConfig {
+    /// Honest publishers per round.
+    pub publishers: usize,
+    /// Publish rounds (one epoch apart).
+    pub rounds: usize,
+    /// Copies of every signal crossing the validator (mesh fan-in /
+    /// replay amplification).
+    pub dup_factor: usize,
+    /// Double-signaling spammers.
+    pub spammers: usize,
+    /// Distinct messages per spammer inside one epoch.
+    pub spam_burst: usize,
+    /// Membership tree depth.
+    pub tree_depth: usize,
+    /// Measurement repetitions per configuration (the best run is
+    /// reported, damping scheduler noise on shared machines).
+    pub repetitions: usize,
+    /// Determinism seed for identities, proofs and stream shuffling.
+    pub seed: u64,
+}
+
+impl Default for PipelineReportConfig {
+    fn default() -> PipelineReportConfig {
+        PipelineReportConfig {
+            publishers: 24,
+            rounds: 3,
+            dup_factor: 6,
+            spammers: 2,
+            spam_burst: 4,
+            tree_depth: 12,
+            repetitions: 3,
+            seed: 2022,
+        }
+    }
+}
+
+/// One row of the batch-size sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepRow {
+    /// `max_batch` used.
+    pub batch: usize,
+    /// Wall-clock messages per second through the pipeline.
+    pub msgs_per_sec: f64,
+    /// Wall-clock speedup over the serial validator.
+    pub speedup: f64,
+    /// Modeled device CPU per message, microseconds (cost-model
+    /// accounting: full verification charge only where the zkSNARK
+    /// actually ran).
+    pub modeled_cpu_per_msg: f64,
+}
+
+/// The measured pipeline numbers (also see `BENCH_pipeline.json`).
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Total frames in the wire workload.
+    pub workload_messages: usize,
+    /// Distinct signals in the workload.
+    pub unique_signals: usize,
+    /// Copies per signal.
+    pub dup_factor: usize,
+    /// Wall-clock messages per second through the serial validator.
+    pub serial_msgs_per_sec: f64,
+    /// 99th-percentile serial per-message validation latency, µs.
+    pub serial_p99_us: f64,
+    /// Modeled device CPU per message on the serial path, µs.
+    pub serial_modeled_cpu_per_msg: f64,
+    /// Messages per second a paper-calibrated device (§IV: ≈30 ms per
+    /// proof verification) sustains on the serial path —
+    /// `1e6 / serial_modeled_cpu_per_msg`. The simulation's wall clock
+    /// replaces the pairing check with a µs-scale MAC, so this modeled
+    /// series, not the wall-clock one, is the apples-to-apples
+    /// relay-throughput claim.
+    pub device_msgs_per_sec_serial: f64,
+    /// Messages per second the calibrated device sustains through the
+    /// pipeline at `max_batch = 64`.
+    pub device_msgs_per_sec_at_64: f64,
+    /// The batch-size sweep.
+    pub sweep: Vec<SweepRow>,
+    /// Wall-clock messages per second at `max_batch = 64`.
+    pub msgs_per_sec_at_64: f64,
+    /// Wall-clock speedup over serial at `max_batch = 64`.
+    pub speedup_at_64: f64,
+    /// 99th-percentile per-message decision latency inside a batch-64
+    /// flush, µs (flush wall time ÷ batch length, tail over flushes).
+    pub pipeline_p99_us_at_64: f64,
+    /// Modeled CPU speedup at batch 64 (serial ÷ pipeline).
+    pub modeled_cpu_speedup_at_64: f64,
+    /// zkSNARK verifications the batch-64 run executed.
+    pub proofs_verified_at_64: u64,
+    /// Fraction of frames resolved without proof work at batch 64.
+    pub cache_hit_rate_at_64: f64,
+    /// Worker threads available to the batch verification fan-out.
+    pub threads: usize,
+}
+
+/// The generated wire workload: arrival-stamped encoded frames plus the
+/// validator template both measured paths start from.
+struct Workload {
+    /// `(arrival_ms, encoded WakuMessage frame)`, in arrival order.
+    frames: Vec<(u64, Vec<u8>)>,
+    unique: usize,
+    validator: RlnValidator,
+}
+
+/// Builds the scenario-shaped wire workload (see module docs).
+fn build_workload(config: &PipelineReportConfig) -> Workload {
+    let scheme = EpochScheme::new(10, 20_000);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (pk, vk) = SimSnark::setup(RlnCircuit::new(config.tree_depth), &mut rng);
+    let mut group = RlnGroup::new(config.tree_depth).expect("depth ok");
+    let n_ids = config.publishers + config.spammers;
+    let ids: Vec<(Identity, u64)> = (0..n_ids)
+        .map(|_| {
+            let id = Identity::random(&mut rng);
+            let index = group.register(id.commitment()).expect("capacity");
+            (id, index)
+        })
+        .collect();
+
+    let wire = |member: usize, now_ms: u64, msg: &[u8], rng: &mut StdRng| -> WireSignal {
+        let (id, index) = &ids[member];
+        let epoch = scheme.epoch_at_ms(now_ms);
+        let signal = create_signal(
+            id,
+            &group.membership_proof(*index).expect("member"),
+            group.root(),
+            &pk,
+            scheme.to_field(epoch),
+            msg,
+            rng,
+        )
+        .expect("honest witness proves");
+        WireSignal { epoch, signal }
+    };
+
+    // honest rounds: every publisher sends one unique message per epoch
+    let mut uniques: Vec<(u64, WireSignal)> = Vec::new();
+    for round in 0..config.rounds {
+        let base = 11_000 + round as u64 * 10_000;
+        for p in 0..config.publishers {
+            let now = base + p as u64 % 1_000;
+            let msg = format!("r{round}-p{p}");
+            uniques.push((now, wire(p, now, msg.as_bytes(), &mut rng)));
+        }
+    }
+    // the spam burst: each spammer double-signals `spam_burst` distinct
+    // messages inside the first round's epoch
+    for s in 0..config.spammers {
+        for k in 0..config.spam_burst {
+            let now = 12_000 + (s * config.spam_burst + k) as u64;
+            let msg = format!("spam-{s}-{k}");
+            uniques.push((
+                now,
+                wire(config.publishers + s, now, msg.as_bytes(), &mut rng),
+            ));
+        }
+    }
+
+    // replay-amplify: every signal crosses the validator dup_factor times
+    let mut frames: Vec<(u64, Vec<u8>)> = Vec::new();
+    for (now, w) in &uniques {
+        let payload = encode_signal(w.epoch, &w.signal);
+        for copy in 0..config.dup_factor {
+            let frame = WakuMessage::new("/bench/1/chat/proto", payload.clone()).encode();
+            frames.push((now + copy as u64 * 37, frame));
+        }
+    }
+    // deterministic interleave, then restore arrival order
+    frames.shuffle(&mut rng);
+    frames.sort_by_key(|(now, _)| *now);
+
+    let empty_validator = RlnValidator::new(vk, scheme, group.root(), CostModel::default());
+    Workload {
+        frames,
+        unique: uniques.len(),
+        validator: empty_validator,
+    }
+}
+
+/// p99 of a latency sample set, in microseconds.
+fn p99_us(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[(samples.len() - 1) * 99 / 100]
+}
+
+/// One serial measurement pass; returns (elapsed, p99 µs, modeled cost,
+/// final stats).
+fn run_serial(workload: &Workload) -> (Duration, f64, u64, ValidationStats) {
+    let topic = Topic::new("t");
+    let mut validator = workload.validator.clone();
+    let mut latencies: Vec<f64> = Vec::with_capacity(workload.frames.len());
+    let mut modeled = 0u64;
+    let start = Instant::now();
+    for (now, frame) in &workload.frames {
+        let t0 = Instant::now();
+        let _ = validator.validate(*now, &topic, frame);
+        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+        modeled += validator.last_cost_micros();
+    }
+    let elapsed = start.elapsed();
+    (elapsed, p99_us(&mut latencies), modeled, validator.stats())
+}
+
+/// One pipelined measurement pass at `max_batch = batch`.
+struct PipedRun {
+    elapsed: Duration,
+    per_msg_p99_us: f64,
+    modeled: u64,
+    stats: ValidationStats,
+    proofs_verified: u64,
+    resolved_without_proof: u64,
+}
+
+fn run_piped(workload: &Workload, batch: usize) -> PipedRun {
+    let topic = Topic::new("t");
+    let mut validator = workload.validator.clone();
+    validator.enable_pipeline(PipelineConfig {
+        max_batch: batch,
+        ..PipelineConfig::default()
+    });
+    let mut flush_latencies: Vec<f64> = Vec::new();
+    let mut modeled = 0u64;
+    let mut decided = 0usize;
+    let start = Instant::now();
+    for (now, frame) in &workload.frames {
+        match validator.submit(*now, &topic, frame) {
+            SubmitOutcome::Decided(_) => {
+                decided += 1;
+                modeled += validator.last_cost_micros();
+            }
+            SubmitOutcome::Deferred(_) => {}
+        }
+        if validator.flush_due() {
+            let t0 = Instant::now();
+            let decisions = validator.flush(*now);
+            let dt = t0.elapsed().as_secs_f64() * 1e6;
+            flush_latencies.push(dt / decisions.len().max(1) as f64);
+            decided += decisions.len();
+            modeled += decisions.iter().map(|d| d.cost_micros).sum::<u64>();
+        }
+    }
+    let end = workload.frames.last().map(|(now, _)| *now).unwrap_or(0);
+    let decisions = validator.flush(end);
+    decided += decisions.len();
+    modeled += decisions.iter().map(|d| d.cost_micros).sum::<u64>();
+    let elapsed = start.elapsed();
+    assert_eq!(decided, workload.frames.len(), "pipeline lost messages");
+    let ps = validator.pipeline_stats().expect("pipeline enabled");
+    PipedRun {
+        elapsed,
+        per_msg_p99_us: p99_us(&mut flush_latencies),
+        modeled,
+        stats: validator.stats(),
+        proofs_verified: ps.proofs_verified,
+        resolved_without_proof: ps.cache_hits + ps.batch_dedup_hits + ps.root_window_skips,
+    }
+}
+
+/// Batch sizes the sweep visits.
+pub const SWEEP_BATCHES: [usize; 6] = [1, 8, 16, 32, 64, 128];
+
+/// Runs the full measurement suite.
+///
+/// # Panics
+///
+/// Panics if the pipeline's outcomes diverge from the serial validator
+/// on the generated workload — the report must never describe a
+/// non-equivalent configuration.
+pub fn run(config: PipelineReportConfig) -> PipelineReport {
+    let workload = build_workload(&config);
+    let n = workload.frames.len();
+    let reps = config.repetitions.max(1);
+
+    let mut serial_best: Option<(Duration, f64, u64, ValidationStats)> = None;
+    for _ in 0..reps {
+        let run = run_serial(&workload);
+        if serial_best.as_ref().is_none_or(|b| run.0 < b.0) {
+            serial_best = Some(run);
+        }
+    }
+    let (serial_elapsed, serial_p99, serial_modeled, serial_stats) =
+        serial_best.expect("at least one repetition");
+    let serial_mps = n as f64 / serial_elapsed.as_secs_f64();
+
+    let mut sweep = Vec::new();
+    let mut at_64: Option<PipedRun> = None;
+    for batch in SWEEP_BATCHES {
+        let mut best: Option<PipedRun> = None;
+        for _ in 0..reps {
+            let run = run_piped(&workload, batch);
+            assert_eq!(
+                run.stats, serial_stats,
+                "pipeline diverged from serial at batch {batch}"
+            );
+            if best.as_ref().is_none_or(|b| run.elapsed < b.elapsed) {
+                best = Some(run);
+            }
+        }
+        let best = best.expect("at least one repetition");
+        let mps = n as f64 / best.elapsed.as_secs_f64();
+        sweep.push(SweepRow {
+            batch,
+            msgs_per_sec: mps,
+            speedup: mps / serial_mps,
+            modeled_cpu_per_msg: best.modeled as f64 / n as f64,
+        });
+        if batch == 64 {
+            at_64 = Some(best);
+        }
+    }
+    let at_64 = at_64.expect("sweep visits 64");
+    let row_64 = sweep
+        .iter()
+        .find(|r| r.batch == 64)
+        .copied()
+        .expect("sweep visits 64");
+
+    PipelineReport {
+        workload_messages: n,
+        unique_signals: workload.unique,
+        dup_factor: config.dup_factor,
+        serial_msgs_per_sec: serial_mps,
+        serial_p99_us: serial_p99,
+        serial_modeled_cpu_per_msg: serial_modeled as f64 / n as f64,
+        device_msgs_per_sec_serial: 1e6 * n as f64 / serial_modeled as f64,
+        device_msgs_per_sec_at_64: 1e6 * n as f64 / at_64.modeled.max(1) as f64,
+        msgs_per_sec_at_64: row_64.msgs_per_sec,
+        speedup_at_64: row_64.speedup,
+        pipeline_p99_us_at_64: at_64.per_msg_p99_us,
+        modeled_cpu_speedup_at_64: serial_modeled as f64 / at_64.modeled.max(1) as f64,
+        proofs_verified_at_64: at_64.proofs_verified,
+        cache_hit_rate_at_64: at_64.resolved_without_proof as f64 / n as f64,
+        sweep,
+        threads: wakurln_zksnark::parallel::max_threads(),
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl PipelineReport {
+    /// Serializes as stable JSON (fixed field order and float format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"workload_messages\": {},\n",
+            self.workload_messages
+        ));
+        out.push_str(&format!("  \"unique_signals\": {},\n", self.unique_signals));
+        out.push_str(&format!("  \"dup_factor\": {},\n", self.dup_factor));
+        out.push_str(&format!(
+            "  \"serial_msgs_per_sec\": {},\n",
+            json_f64(self.serial_msgs_per_sec)
+        ));
+        out.push_str(&format!(
+            "  \"serial_p99_us\": {},\n",
+            json_f64(self.serial_p99_us)
+        ));
+        out.push_str(&format!(
+            "  \"serial_modeled_cpu_per_msg\": {},\n",
+            json_f64(self.serial_modeled_cpu_per_msg)
+        ));
+        out.push_str(&format!(
+            "  \"device_msgs_per_sec_serial\": {},\n",
+            json_f64(self.device_msgs_per_sec_serial)
+        ));
+        out.push_str(&format!(
+            "  \"device_msgs_per_sec_at_64\": {},\n",
+            json_f64(self.device_msgs_per_sec_at_64)
+        ));
+        out.push_str("  \"sweep\": [\n");
+        for (i, row) in self.sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"batch\": {}, \"msgs_per_sec\": {}, \"speedup\": {}, \"modeled_cpu_per_msg\": {}}}{}\n",
+                row.batch,
+                json_f64(row.msgs_per_sec),
+                json_f64(row.speedup),
+                json_f64(row.modeled_cpu_per_msg),
+                if i + 1 < self.sweep.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"msgs_per_sec_at_64\": {},\n",
+            json_f64(self.msgs_per_sec_at_64)
+        ));
+        out.push_str(&format!(
+            "  \"speedup_at_64\": {},\n",
+            json_f64(self.speedup_at_64)
+        ));
+        out.push_str(&format!(
+            "  \"pipeline_p99_us_at_64\": {},\n",
+            json_f64(self.pipeline_p99_us_at_64)
+        ));
+        out.push_str(&format!(
+            "  \"modeled_cpu_speedup_at_64\": {},\n",
+            json_f64(self.modeled_cpu_speedup_at_64)
+        ));
+        out.push_str(&format!(
+            "  \"proofs_verified_at_64\": {},\n",
+            self.proofs_verified_at_64
+        ));
+        out.push_str(&format!(
+            "  \"cache_hit_rate_at_64\": {},\n",
+            json_f64(self.cache_hit_rate_at_64)
+        ));
+        out.push_str(&format!("  \"threads\": {}\n", self.threads));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Schema smoke: a tiny workload exercises every field, outcome
+    /// equality is asserted inside `run`, and the dedup stages must beat
+    /// the serial path even at this size.
+    #[test]
+    fn report_schema_and_amortization_smoke() {
+        let report = run(PipelineReportConfig {
+            publishers: 4,
+            rounds: 2,
+            dup_factor: 4,
+            spammers: 1,
+            spam_burst: 2,
+            tree_depth: 10,
+            repetitions: 1,
+            seed: 7,
+        });
+        assert_eq!(report.workload_messages, report.unique_signals * 4);
+        assert!(report.serial_msgs_per_sec > 0.0);
+        assert_eq!(report.sweep.len(), SWEEP_BATCHES.len());
+        // duplicates never reach the verifier: exactly one verification
+        // per unique signal
+        assert_eq!(report.proofs_verified_at_64, report.unique_signals as u64);
+        assert!(report.cache_hit_rate_at_64 > 0.5);
+        // modeled amortization is deterministic: only uniques pay the
+        // 30 ms verification charge
+        assert!(report.modeled_cpu_speedup_at_64 > 2.0);
+        assert!(report.device_msgs_per_sec_at_64 > report.device_msgs_per_sec_serial * 2.0);
+        // wall-clock must not collapse (loose: shared-container noise)
+        assert!(
+            report.speedup_at_64 > 0.5,
+            "batch 64 wall speedup only {:.2}",
+            report.speedup_at_64
+        );
+        let json = report.to_json();
+        for field in [
+            "workload_messages",
+            "serial_msgs_per_sec",
+            "device_msgs_per_sec_serial",
+            "device_msgs_per_sec_at_64",
+            "sweep",
+            "speedup_at_64",
+            "modeled_cpu_speedup_at_64",
+            "cache_hit_rate_at_64",
+            "threads",
+        ] {
+            assert!(json.contains(field), "missing {field}");
+        }
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::epoch::EpochScheme;
 use crate::node::{PublishError, RlnRelayNode};
+use crate::pipeline::PipelineConfig;
 use crate::validator::{CostModel, RlnValidator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +60,9 @@ pub struct TestbedConfig {
     pub scoring: ScoringConfig,
     /// Validation cost model (device profile).
     pub cost: CostModel,
+    /// Batched validation pipeline knobs; `None` keeps the serial
+    /// per-message validator (byte-identical to pre-pipeline behaviour).
+    pub pipeline: Option<PipelineConfig>,
     /// Stake per member, wei.
     pub stake: Wei,
 }
@@ -75,6 +79,7 @@ impl Default for TestbedConfig {
             gossip: GossipsubConfig::default(),
             scoring: ScoringConfig::default(),
             cost: CostModel::default(),
+            pipeline: None,
             stake: ETHER,
         }
     }
@@ -158,8 +163,11 @@ impl Testbed {
         let mut identities = Vec::with_capacity(config.n_peers);
         for (i, peers) in adjacency.into_iter().enumerate() {
             let identity = Identity::random(&mut rng);
-            let validator =
+            let mut validator =
                 RlnValidator::new(verifying_key.clone(), config.epoch, empty_root, cost_of(i));
+            if let Some(pipeline) = config.pipeline {
+                validator.enable_pipeline(pipeline);
+            }
             let mut node = RlnRelayNode::new(
                 peers,
                 validator,
@@ -238,12 +246,15 @@ impl Testbed {
     pub fn add_peer(&mut self, bootstrap: &[usize]) -> usize {
         let identity = Identity::random(&mut self.rng);
         let empty_root = zero_hashes()[self.config.tree_depth];
-        let validator = RlnValidator::new(
+        let mut validator = RlnValidator::new(
             self.verifying_key.clone(),
             self.config.epoch,
             empty_root,
             self.config.cost,
         );
+        if let Some(pipeline) = self.config.pipeline {
+            validator.enable_pipeline(pipeline);
+        }
         let known: Vec<NodeId> = bootstrap.iter().map(|i| NodeId(*i)).collect();
         let mut node = RlnRelayNode::new(
             known,

@@ -12,6 +12,9 @@
 //! * [`nullifier_map`] — windowed double-signaling detection state,
 //! * [`validator`] — the §III routing validation pipeline (proof → epoch →
 //!   nullifier map), pluggable into GossipSub,
+//! * [`pipeline`] — the staged, epoch-sharded batch pipeline that
+//!   amortizes proof verification (dedup and verdict caching before
+//!   zkSNARK work) while preserving the serial validator's outcomes,
 //! * [`node`] — the full peer: light membership tree, rate-limited
 //!   publishing (§III "Publishing"), slashing-event application, and the
 //!   censorship-eclipse adversary mode used by the scenario library,
@@ -47,6 +50,7 @@ pub mod epoch;
 pub mod harness;
 pub mod node;
 pub mod nullifier_map;
+pub mod pipeline;
 pub mod validator;
 
 pub use codec::{decode_signal, encode_signal, SignalCodecError, WireSignal};
@@ -54,4 +58,5 @@ pub use epoch::EpochScheme;
 pub use harness::{Testbed, TestbedConfig};
 pub use node::{PublishError, RlnRelayNode};
 pub use nullifier_map::{NullifierMap, NullifierOutcome};
+pub use pipeline::{PipelineConfig, PipelineStats};
 pub use validator::{CostModel, RlnValidator, SpamDetection, ValidationStats};

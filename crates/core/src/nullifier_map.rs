@@ -60,9 +60,18 @@ impl NullifierMap {
 
     /// Drops every epoch older than `current_epoch − thr` (the paper's
     /// bounded-state property: older messages are epoch-invalid anyway).
+    ///
+    /// Runs on every validated message, so the common nothing-to-drop
+    /// case returns before touching the tree (`split_off` would otherwise
+    /// reallocate the map once per message on the relay hot path).
     pub fn gc(&mut self, current_epoch: u64, thr: u64) {
         let cutoff = current_epoch.saturating_sub(thr);
-        self.epochs = self.epochs.split_off(&cutoff);
+        match self.epochs.keys().next() {
+            Some(oldest) if *oldest < cutoff => {
+                self.epochs = self.epochs.split_off(&cutoff);
+            }
+            _ => {}
+        }
     }
 
     /// Number of epochs currently tracked.

@@ -14,9 +14,10 @@
 use crate::codec::{decode_signal, WireSignal};
 use crate::epoch::EpochScheme;
 use crate::nullifier_map::{NullifierMap, NullifierOutcome};
+use crate::pipeline::{PipelineConfig, PipelineState, PipelineStats};
 use std::collections::VecDeque;
 use wakurln_crypto::field::Fr;
-use wakurln_gossipsub::{Topic, ValidationResult, Validator};
+use wakurln_gossipsub::{BatchDecision, SubmitOutcome, Topic, ValidationResult, Validator};
 use wakurln_relay::WakuMessage;
 use wakurln_rln::{analyze_double_signal, build_evidence, DoubleSignalOutcome, SlashingEvidence};
 use wakurln_rln::{verify_signal, SignalValidity};
@@ -90,6 +91,8 @@ pub struct RlnValidator {
     stats: ValidationStats,
     cost: CostModel,
     last_cost: u64,
+    /// Batched-validation state; `None` runs the serial per-message path.
+    pipeline: Option<Box<PipelineState>>,
 }
 
 impl RlnValidator {
@@ -113,7 +116,28 @@ impl RlnValidator {
             stats: ValidationStats::default(),
             cost,
             last_cost: 0,
+            pipeline: None,
         }
+    }
+
+    /// Switches this validator into batched-pipeline mode (see
+    /// [`crate::pipeline`]): subsequent [`Validator::submit`] calls defer
+    /// decodable messages into an epoch-sharded batch that is drained by
+    /// [`Validator::flush`]. Outcomes, statistics and detections are
+    /// identical to the serial path; only the simulated CPU cost is
+    /// amortized.
+    pub fn enable_pipeline(&mut self, config: PipelineConfig) {
+        self.pipeline = Some(Box::new(PipelineState::new(config)));
+    }
+
+    /// Whether batched-pipeline mode is on.
+    pub fn pipeline_enabled(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Per-stage pipeline counters (`None` while in serial mode).
+    pub fn pipeline_stats(&self) -> Option<PipelineStats> {
+        self.pipeline.as_ref().map(|p| p.stats())
     }
 
     /// Registers a new membership root (called on every contract event the
@@ -214,6 +238,23 @@ impl RlnValidator {
                 == SignalValidity::Valid
     }
 
+    /// Whether `root` is inside the accepted-roots window right now (the
+    /// cheap half of the stateless stage; the pipeline snapshots it at
+    /// arrival time, exactly when the serial path would evaluate it).
+    pub(crate) fn root_accepted(&self, root: &Fr) -> bool {
+        self.accepted_roots.contains(root)
+    }
+
+    /// The shared verifying key (pipeline batch verification).
+    pub(crate) fn verifying_key(&self) -> &VerifyingKey {
+        &self.verifying_key
+    }
+
+    /// The device cost model in effect.
+    pub(crate) fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
     /// Stage 2 — stateful checks (epoch window, nullifier map) plus cost
     /// and statistics accounting for the whole pipeline.
     fn finish_validation(
@@ -222,10 +263,27 @@ impl RlnValidator {
         wire: &WireSignal,
         proof_ok: bool,
     ) -> ValidationResult {
+        self.decide(now_ms, wire, proof_ok, self.cost.verify_proof_micros)
+    }
+
+    /// The order-sensitive stateful core shared by the serial path and the
+    /// batched pipeline: epoch window, nullifier map, double-signal
+    /// analysis, statistics and cost accounting. `verify_cost` is the
+    /// simulated CPU the caller actually spent on the stateless stage for
+    /// this message (full proof verification serially; a cache/dedup probe
+    /// when the pipeline skipped the zkSNARK), so batched runs report
+    /// amortized per-device cost while producing identical outcomes.
+    pub(crate) fn decide(
+        &mut self,
+        now_ms: u64,
+        wire: &WireSignal,
+        proof_ok: bool,
+        verify_cost: u64,
+    ) -> ValidationResult {
         let mut cost = 0;
 
         // 1. proof verification (root must be one we accept)
-        cost += self.cost.verify_proof_micros;
+        cost += verify_cost;
         if !proof_ok {
             self.stats.invalid_proof += 1;
             self.last_cost = cost;
@@ -290,16 +348,24 @@ impl RlnValidator {
     }
 }
 
+impl RlnValidator {
+    /// Decodes a gossip payload down to the RLN wire signal, counting
+    /// malformed frames.
+    fn decode_frame(&mut self, data: &[u8]) -> Option<WireSignal> {
+        let wire = WakuMessage::decode(data)
+            .ok()
+            .and_then(|waku| decode_signal(&waku.payload).ok());
+        if wire.is_none() {
+            self.stats.malformed += 1;
+            self.last_cost = self.cost.epoch_check_micros;
+        }
+        wire
+    }
+}
+
 impl Validator for RlnValidator {
     fn validate(&mut self, now_ms: u64, _topic: &Topic, data: &[u8]) -> ValidationResult {
-        let Ok(waku) = WakuMessage::decode(data) else {
-            self.stats.malformed += 1;
-            self.last_cost = self.cost.epoch_check_micros;
-            return ValidationResult::Reject;
-        };
-        let Ok(wire) = decode_signal(&waku.payload) else {
-            self.stats.malformed += 1;
-            self.last_cost = self.cost.epoch_check_micros;
+        let Some(wire) = self.decode_frame(data) else {
             return ValidationResult::Reject;
         };
         self.validate_wire(now_ms, &wire)
@@ -307,6 +373,38 @@ impl Validator for RlnValidator {
 
     fn last_cost_micros(&self) -> u64 {
         self.last_cost
+    }
+
+    fn submit(&mut self, now_ms: u64, topic: &Topic, data: &[u8]) -> SubmitOutcome {
+        if self.pipeline.is_none() {
+            return SubmitOutcome::Decided(self.validate(now_ms, topic, data));
+        }
+        let Some(wire) = self.decode_frame(data) else {
+            return SubmitOutcome::Decided(ValidationResult::Reject);
+        };
+        // stage 1 — decode (above) + cheap arrival-time snapshots: the
+        // root-window membership is evaluated now, exactly when the
+        // serial path would have evaluated it
+        let root_ok = self.root_accepted(&wire.signal.root);
+        let pipeline = self.pipeline.as_mut().expect("checked above");
+        SubmitOutcome::Deferred(pipeline.enqueue(now_ms, wire, root_ok))
+    }
+
+    fn flush_due(&self) -> bool {
+        self.pipeline.as_ref().is_some_and(|p| p.flush_due())
+    }
+
+    fn flush(&mut self, now_ms: u64) -> Vec<BatchDecision> {
+        let Some(mut pipeline) = self.pipeline.take() else {
+            return Vec::new();
+        };
+        let decisions = pipeline.flush(self, now_ms);
+        self.pipeline = Some(pipeline);
+        decisions
+    }
+
+    fn flush_interval_ms(&self) -> Option<u64> {
+        self.pipeline.as_ref().map(|p| p.config().flush_interval_ms)
     }
 }
 

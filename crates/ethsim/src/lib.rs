@@ -15,7 +15,7 @@
 //! * [`chain`] — block production, execution, event subscriptions.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chain;
 pub mod contracts;

@@ -19,7 +19,7 @@
 //!   pruned and replaced at the next heartbeat).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod node;
@@ -27,6 +27,8 @@ pub mod score;
 pub mod types;
 
 pub use config::{GossipsubConfig, ScoringConfig};
-pub use node::{AcceptAll, Delivery, GossipsubNode, ValidationResult, Validator};
+pub use node::{
+    AcceptAll, BatchDecision, Delivery, GossipsubNode, SubmitOutcome, ValidationResult, Validator,
+};
 pub use score::PeerScore;
 pub use types::{MessageCache, MessageId, RawMessage, Rpc, Topic};

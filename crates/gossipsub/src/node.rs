@@ -10,6 +10,10 @@ use wakurln_netsim::{Bytes, Context, Node, NodeId};
 /// Heartbeat timer token.
 const TIMER_HEARTBEAT: u64 = 0;
 
+/// Batch-validation flush timer token (armed only when the validator
+/// reports a [`Validator::flush_interval_ms`]).
+const TIMER_FLUSH: u64 = 1;
+
 /// Application verdict on an incoming message, produced by a [`Validator`].
 ///
 /// WAKU-RLN-RELAY plugs its proof/epoch/nullifier checks in through this
@@ -27,7 +31,36 @@ pub enum ValidationResult {
     Ignore,
 }
 
+/// Outcome of handing a message to a (possibly batching) validator via
+/// [`Validator::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The verdict is available immediately (serial validators).
+    Decided(ValidationResult),
+    /// The message was queued; its verdict will be released by a later
+    /// [`Validator::flush`] under this ticket.
+    Deferred(u64),
+}
+
+/// One deferred verdict released by [`Validator::flush`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchDecision {
+    /// The ticket handed out by [`Validator::submit`].
+    pub ticket: u64,
+    /// The verdict for the queued message.
+    pub result: ValidationResult,
+    /// Simulated CPU cost attributed to this message, microseconds.
+    pub cost_micros: u64,
+}
+
 /// Message validation hook.
+///
+/// Serial validators implement [`Validator::validate`] only. Batching
+/// validators (e.g. WAKU-RLN-RELAY's staged proof-verification pipeline)
+/// additionally override the `submit`/`flush` family: `submit` may defer
+/// a message, and the node completes delivery/forwarding when a later
+/// `flush` — triggered by a full batch or the flush timer — releases the
+/// verdict.
 pub trait Validator {
     /// Judges a message before delivery/forwarding. `now_ms` is simulated
     /// time; implementations may mutate internal state (nullifier maps…).
@@ -37,6 +70,32 @@ pub trait Validator {
     /// microseconds (drives the E6/E9 relayer-overhead accounting).
     fn last_cost_micros(&self) -> u64 {
         0
+    }
+
+    /// Hands a message to the validator, allowing it to defer the
+    /// verdict for batched processing. The default forwards to
+    /// [`Validator::validate`] and always decides immediately.
+    fn submit(&mut self, now_ms: u64, topic: &Topic, data: &[u8]) -> SubmitOutcome {
+        SubmitOutcome::Decided(self.validate(now_ms, topic, data))
+    }
+
+    /// Whether the internal batch has reached the size at which the node
+    /// should flush without waiting for the timer.
+    fn flush_due(&self) -> bool {
+        false
+    }
+
+    /// Resolves queued messages, returning one [`BatchDecision`] per
+    /// deferred ticket that is now decided (possibly none).
+    fn flush(&mut self, _now_ms: u64) -> Vec<BatchDecision> {
+        Vec::new()
+    }
+
+    /// The bounded staleness of the batch, i.e. how often the node should
+    /// fire a flush timer. `None` (the default) disables the timer — the
+    /// validator never defers.
+    fn flush_interval_ms(&self) -> Option<u64> {
+        None
     }
 }
 
@@ -92,6 +151,11 @@ pub struct GossipsubNode<V: Validator> {
     /// behind churn repair (crashed peers go quiet and are pruned after
     /// `peer_timeout_ms`).
     last_heard: HashMap<NodeId, u64>,
+    /// Messages whose validation verdict is deferred inside a batching
+    /// validator, keyed by the validator's ticket. Delivery and
+    /// forwarding complete when a flush releases the verdict. The id is
+    /// the one computed at receive time (content hashing is paid once).
+    pending_validation: HashMap<u64, (NodeId, RawMessage, MessageId)>,
 }
 
 impl<V: Validator> GossipsubNode<V> {
@@ -116,6 +180,7 @@ impl<V: Validator> GossipsubNode<V> {
             delivered: Vec::new(),
             iwant_spent: HashMap::new(),
             last_heard: HashMap::new(),
+            pending_validation: HashMap::new(),
         }
     }
 
@@ -224,8 +289,32 @@ impl<V: Validator> GossipsubNode<V> {
         }
         self.seen.insert(id, ctx.now());
 
-        let verdict = self.validator.validate(ctx.now(), &msg.topic, &msg.data);
-        ctx.charge_cpu(self.validator.last_cost_micros());
+        match self.validator.submit(ctx.now(), &msg.topic, &msg.data) {
+            SubmitOutcome::Decided(verdict) => {
+                ctx.charge_cpu(self.validator.last_cost_micros());
+                self.apply_verdict(ctx, from, msg, id, verdict);
+            }
+            SubmitOutcome::Deferred(ticket) => {
+                ctx.count("validation_deferred", 1);
+                self.pending_validation.insert(ticket, (from, msg, id));
+                if self.validator.flush_due() {
+                    self.complete_flush(ctx);
+                }
+            }
+        }
+    }
+
+    /// Completes processing of a validated message: scoring, local
+    /// delivery and mesh forwarding. Shared by the immediate path and the
+    /// batched-flush path.
+    fn apply_verdict(
+        &mut self,
+        ctx: &mut Context<'_, Rpc>,
+        from: NodeId,
+        msg: RawMessage,
+        id: MessageId,
+        verdict: ValidationResult,
+    ) {
         match verdict {
             ValidationResult::Reject => {
                 if self.config.scoring_enabled {
@@ -256,6 +345,17 @@ impl<V: Validator> GossipsubNode<V> {
         self.mcache.put(msg.clone());
         for peer in self.eager_targets(&msg.topic, Some(from)) {
             ctx.send(peer, Rpc::Forward(msg.clone()));
+        }
+    }
+
+    /// Drains the validator's batch and completes every released verdict.
+    fn complete_flush(&mut self, ctx: &mut Context<'_, Rpc>) {
+        for decision in self.validator.flush(ctx.now()) {
+            let Some((from, msg, id)) = self.pending_validation.remove(&decision.ticket) else {
+                continue; // unknown ticket: validator-internal bookkeeping
+            };
+            ctx.charge_cpu(decision.cost_micros);
+            self.apply_verdict(ctx, from, msg, id, decision.result);
         }
     }
 
@@ -469,6 +569,9 @@ impl<V: Validator> Node for GossipsubNode<V> {
             ctx.rng().gen_range(0..self.config.heartbeat_ms)
         };
         ctx.set_timer(self.config.heartbeat_ms + jitter, TIMER_HEARTBEAT);
+        if let Some(interval) = self.validator.flush_interval_ms() {
+            ctx.set_timer(interval, TIMER_FLUSH);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: Rpc) {
@@ -512,6 +615,11 @@ impl<V: Validator> Node for GossipsubNode<V> {
     fn on_timer(&mut self, ctx: &mut Context<'_, Rpc>, token: u64) {
         if token == TIMER_HEARTBEAT {
             self.heartbeat(ctx);
+        } else if token == TIMER_FLUSH {
+            self.complete_flush(ctx);
+            if let Some(interval) = self.validator.flush_interval_ms() {
+                ctx.set_timer(interval, TIMER_FLUSH);
+            }
         }
     }
 }

@@ -16,7 +16,7 @@
 //! * [`metrics`] — counters, per-node accounting, latency series.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bytes;
 pub mod latency;

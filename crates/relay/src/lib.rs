@@ -10,7 +10,7 @@
 //! * [`node`] — the relay peer over GossipSub with pluggable validation.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod message;
 pub mod node;

@@ -75,6 +75,7 @@ pub fn run_scenario_detailed(spec: &ScenarioSpec) -> (ScenarioReport, Testbed) {
         },
         seed: spec.seed,
         latency_ms: (latency_min, latency_max),
+        pipeline: spec.pipeline,
         ..TestbedConfig::default()
     };
 

@@ -21,7 +21,7 @@
 //! slashing, bandwidth and CPU per node, nullifier-map growth — as
 //! schema-stable JSON (byte-identical for the same spec + seed).
 //!
-//! The [`library`] module ships the six canonical workloads
+//! The [`library`] module ships the seven canonical workloads
 //! ([`BUILTIN_NAMES`]); the `simctl` binary (in `wakurln-bench`) runs
 //! them from the command line, including parameter sweeps. See
 //! `docs/SCENARIOS.md` for the full schema reference.

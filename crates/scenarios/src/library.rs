@@ -1,6 +1,6 @@
 //! The built-in scenario library.
 //!
-//! Six canonical workloads, each parameterized by network size and seed
+//! Seven canonical workloads, each parameterized by network size and seed
 //! so the same scenario runs at 8 peers in a unit test and at 1000–2000
 //! peers under `simctl`. Attack intensity and traffic volume scale with
 //! the population. See `docs/SCENARIOS.md` for what each scenario
@@ -9,16 +9,17 @@
 use crate::spec::{
     ChurnAction, ChurnEvent, DeviceClassSpec, EclipseSpec, ScenarioSpec, SpamSpec, TrafficSpec,
 };
-use waku_rln_relay::EpochScheme;
+use waku_rln_relay::{EpochScheme, PipelineConfig};
 
 /// Names of all built-in scenarios, in canonical order.
-pub const BUILTIN_NAMES: [&str; 6] = [
+pub const BUILTIN_NAMES: [&str; 7] = [
     "baseline",
     "spam_burst",
     "targeted_eclipse",
     "heterogeneous_devices",
     "mass_churn",
     "epoch_boundary_race",
+    "high_throughput",
 ];
 
 /// Builds a built-in scenario by name, sized to `nodes` honest peers.
@@ -31,6 +32,7 @@ pub fn builtin(name: &str, nodes: usize, seed: u64) -> Option<ScenarioSpec> {
         "heterogeneous_devices" => heterogeneous_devices(nodes, seed),
         "mass_churn" => mass_churn(nodes, seed),
         "epoch_boundary_race" => epoch_boundary_race(nodes, seed),
+        "high_throughput" => high_throughput(nodes, seed),
         _ => return None,
     };
     Some(spec)
@@ -166,6 +168,34 @@ pub fn epoch_boundary_race(nodes: usize, seed: u64) -> ScenarioSpec {
         interval_ms: period,
     };
     spec.drain_ms = 45_000;
+    spec
+}
+
+/// Heavy traffic through the batched validation pipeline: half the
+/// honest population publishes every round while a spam burst lands
+/// mid-run, so every relay's validator drains real batches. The claim
+/// under test: batched validation (statement dedup + verdict caching
+/// before zkSNARK work, bounded flush staleness) changes **no**
+/// validation outcome — delivery, containment and slashing match the
+/// serial validator — while decision latency stays bounded by
+/// `flush_interval_ms`. The wall-clock amortization itself is measured
+/// off-simulation by `bench_pipeline` (`BENCH_pipeline.json`).
+pub fn high_throughput(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "high_throughput".to_string();
+    spec.traffic = TrafficSpec {
+        publishers: (nodes / 2).clamp(2, 400),
+        rounds: 3,
+        start_ms: 10_000,
+        interval_ms: 12_000,
+    };
+    spec.spam = Some(SpamSpec {
+        spammers: (nodes / 50).max(1),
+        burst: 4,
+        at_ms: 16_000,
+    });
+    spec.pipeline = Some(PipelineConfig::default());
+    spec.drain_ms = 60_000;
     spec
 }
 

@@ -8,7 +8,7 @@
 //! resulting [`ScenarioReport`](crate::report::ScenarioReport) is
 //! byte-identical.
 
-use waku_rln_relay::EpochScheme;
+use waku_rln_relay::{EpochScheme, PipelineConfig};
 
 /// Bootstrap-topology family (the shapes used in p2p evaluations; the
 /// GossipSub paper evaluates on random regular-ish graphs).
@@ -158,6 +158,11 @@ pub struct ScenarioSpec {
     pub eclipse: Option<EclipseSpec>,
     /// Device mix; empty = every peer uses the default cost model.
     pub devices: Vec<DeviceClassSpec>,
+    /// Batched-validation pipeline knobs for every relay (`max_batch`,
+    /// `flush_interval_ms`, `cache_capacity`); `None` runs the serial
+    /// per-message validator — the pre-pipeline behaviour, byte-identical
+    /// reports included.
+    pub pipeline: Option<PipelineConfig>,
     /// Cool-down after the last scheduled event, milliseconds — time for
     /// gossip recovery, detection, slashing and sync to play out.
     pub drain_ms: u64,
@@ -194,6 +199,7 @@ impl ScenarioSpec {
             churn: Vec::new(),
             eclipse: None,
             devices: Vec::new(),
+            pipeline: None,
             drain_ms: 40_000,
             slice_ms: 1_000,
         }
@@ -261,6 +267,13 @@ impl ScenarioSpec {
         }
         if let Some(s) = self.spam {
             assert!(s.spammers >= 1 && s.burst >= 2, "spam needs a real burst");
+        }
+        if let Some(p) = self.pipeline {
+            assert!(p.max_batch >= 1, "pipeline batch must hold a message");
+            assert!(
+                p.flush_interval_ms >= 1,
+                "pipeline flush interval must be positive"
+            );
         }
         let depth = self.effective_tree_depth();
         assert!(

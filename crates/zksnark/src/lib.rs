@@ -14,7 +14,7 @@
 //! simulated.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod circuit;
 pub mod gadgets;

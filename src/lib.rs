@@ -35,7 +35,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use waku_rln_relay as core;
 pub use wakurln_baselines as baselines;
@@ -47,3 +47,30 @@ pub use wakurln_relay as relay;
 pub use wakurln_rln as rln;
 pub use wakurln_scenarios as scenarios;
 pub use wakurln_zksnark as zksnark;
+
+// ---------------------------------------------------------------------------
+// Documentation smoke: every fenced Rust block in the workspace-level
+// markdown runs under `cargo test --doc`, so the prose cannot drift from
+// the API (the CI docs job builds these alongside `rustdoc -D warnings`,
+// which already fails on broken intra-doc links).
+// ---------------------------------------------------------------------------
+
+/// Compiled copy of `README.md` (doctest-only).
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
+/// Compiled copy of `PERF.md` (doctest-only).
+#[cfg(doctest)]
+#[doc = include_str!("../PERF.md")]
+pub struct PerfDoctests;
+
+/// Compiled copy of `docs/ARCHITECTURE.md` (doctest-only).
+#[cfg(doctest)]
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub struct ArchitectureDoctests;
+
+/// Compiled copy of `docs/SCENARIOS.md` (doctest-only).
+#[cfg(doctest)]
+#[doc = include_str!("../docs/SCENARIOS.md")]
+pub struct ScenariosDoctests;
