@@ -4,7 +4,8 @@
 //! rate). See `PERF.md` ("Batched validation") for the protocol.
 //!
 //! Usage: `cargo run --release -p wakurln-bench --bin bench_pipeline
-//! [-- --dup-factor N] [--publishers N] [--reps N] [--out PATH]`.
+//! [-- --dup-factor N] [--publishers N] [--rounds N] [--reps N]
+//! [--out PATH]`.
 
 use wakurln_bench::pipeline_report::{run, PipelineReportConfig};
 

@@ -52,8 +52,10 @@
 //! shards behind the window can never produce a hit again, and shards
 //! ahead of it carry attacker-chosen envelope epochs (which would
 //! otherwise pin the cache forever), so both are dropped wholesale.
-//! Capacity pressure evicts from the oldest epoch first — the entries
-//! closest to aging out anyway.
+//! Capacity pressure is applied only *after* that GC, and evicts from
+//! the oldest epoch first — the entries closest to aging out anyway —
+//! so a batch of forged out-of-window epochs can never displace honest
+//! in-window entries.
 //!
 //! [`RlnValidator`]: crate::validator::RlnValidator
 //! [`Validator::submit`]: wakurln_gossipsub::Validator::submit
@@ -124,20 +126,28 @@ struct Candidate {
     digest: [u8; 32],
 }
 
-/// Collision-resistant digest of the complete verification statement.
+/// Collision-resistant digest of the complete verification statement:
+/// the hash of the signal's canonical wire encoding
+/// ([`encode_signal`](crate::codec::encode_signal) — epoch, root,
+/// internal nullifier, both share coordinates, proof elements, binding,
+/// message).
 ///
-/// `proof.binding` is itself a hash over every public input (root, both
-/// nullifiers, the share) *and* the proof elements, so
-/// `H(epoch ‖ binding ‖ message)` pins the full statement including the
-/// share-to-message binding — two wires with equal digests verify
-/// identically. Hashing the 32-byte binding instead of the whole wire
-/// keeps the stage-2 probe at one short hash per message.
+/// The digest must cover **every** input [`verify_signal`] depends on,
+/// not a sub-hash like `proof.binding`: the binding is attacker-supplied
+/// bytes that are only *authenticated inside the verifier*, which
+/// cache/dedup hits deliberately skip. A digest of
+/// `(epoch, binding, message)` alone would let an adversary replay a
+/// valid signal with a rewritten `internal_nullifier` or share — same
+/// digest, so stage 2 would resolve the forgery against the honest
+/// copy's cached `true` verdict, landing each mutation in a fresh
+/// nullifier slot (unbounded rate-limit bypass) where the serial
+/// validator rejects it as an invalid proof. Hashing the full encoding
+/// makes equal digests imply byte-identical statements, which trivially
+/// verify identically.
 fn statement_digest(wire: &WireSignal) -> [u8; 32] {
     let mut h = Sha256::new();
-    h.update(b"wakurln-stmt-v1");
-    h.update(&wire.epoch.to_le_bytes());
-    h.update(&wire.signal.proof.binding);
-    h.update(&wire.signal.message);
+    h.update(b"wakurln-stmt-v2");
+    h.update(&crate::codec::encode_signal(wire.epoch, &wire.signal));
     h.finalize()
 }
 
@@ -341,10 +351,14 @@ impl PipelineState {
             });
         }
 
-        self.cache.enforce_capacity();
+        // gc before capacity enforcement: out-of-window shards (stale or
+        // forged far-future epochs) are dropped first, so oldest-first
+        // capacity eviction only ever lands on in-window entries — a
+        // batch of forged-epoch statements cannot displace honest ones
         let scheme = validator.epoch_scheme();
         self.cache
             .gc(scheme.epoch_at_ms(now_ms), scheme.threshold());
+        self.cache.enforce_capacity();
         decisions
     }
 }
@@ -392,6 +406,112 @@ mod tests {
         assert_eq!(cache.len, 2);
         assert_eq!(cache.get(102, &[2; 32]), Some(true));
         assert_eq!(cache.get(u64::MAX, &[3; 32]), None);
+    }
+
+    #[test]
+    fn gc_before_capacity_protects_honest_entries_from_forged_epochs() {
+        // flush order is gc-then-enforce: out-of-window shards must be
+        // gone before capacity pressure (oldest epoch first) can touch
+        // any honest in-window entry
+        let mut cache = ProofCache::new(4);
+        for tag in 0..4u8 {
+            cache.insert(100 + u64::from(tag % 2), [tag; 32], true);
+        }
+        for tag in 10..14u8 {
+            cache.insert(u64::MAX, [tag; 32], true); // forged far-future
+        }
+        cache.gc(100, 2);
+        cache.enforce_capacity();
+        assert_eq!(cache.len, 4);
+        for tag in 0..4u8 {
+            assert_eq!(
+                cache.get(100 + u64::from(tag % 2), &[tag; 32]),
+                Some(true),
+                "honest entry {tag} was displaced by forged epochs"
+            );
+        }
+    }
+
+    #[test]
+    fn statement_digest_covers_every_verifier_input() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use wakurln_crypto::field::Fr;
+        use wakurln_rln::{create_signal, Identity, RlnGroup};
+        use wakurln_zksnark::{RlnCircuit, SimSnark};
+
+        let mut rng = StdRng::seed_from_u64(51);
+        let depth = 10;
+        let (pk, _) = SimSnark::setup(RlnCircuit::new(depth), &mut rng);
+        let mut group = RlnGroup::new(depth).unwrap();
+        let id = Identity::random(&mut rng);
+        let index = group.register(id.commitment()).unwrap();
+        let signal = create_signal(
+            &id,
+            &group.membership_proof(index).unwrap(),
+            group.root(),
+            &pk,
+            Fr::from_u64(7),
+            b"digest me",
+            &mut rng,
+        )
+        .unwrap();
+        let wire = WireSignal { epoch: 7, signal };
+        let base = statement_digest(&wire);
+
+        // every field verify_signal depends on must perturb the digest —
+        // in particular the attacker-writable ones the proof binding
+        // authenticates only inside the (skipped-on-cache-hit) verifier
+        let mutations: Vec<(&str, WireSignal)> = vec![
+            ("epoch", {
+                let mut w = wire.clone();
+                w.epoch += 1;
+                w
+            }),
+            ("root", {
+                let mut w = wire.clone();
+                w.signal.root = Fr::from_u64(1234);
+                w
+            }),
+            ("internal_nullifier", {
+                let mut w = wire.clone();
+                w.signal.internal_nullifier = Fr::from_u64(5678);
+                w
+            }),
+            ("share.x", {
+                let mut w = wire.clone();
+                w.signal.share.x = Fr::from_u64(91011);
+                w
+            }),
+            ("share.y", {
+                let mut w = wire.clone();
+                w.signal.share.y = Fr::from_u64(121314);
+                w
+            }),
+            ("proof.elements", {
+                let mut w = wire.clone();
+                w.signal.proof.elements[0][0] ^= 1;
+                w
+            }),
+            ("proof.binding", {
+                let mut w = wire.clone();
+                w.signal.proof.binding[0] ^= 1;
+                w
+            }),
+            ("message", {
+                let mut w = wire.clone();
+                w.signal.message[0] ^= 1;
+                w
+            }),
+        ];
+        for (field, mutated) in mutations {
+            assert_ne!(
+                statement_digest(&mutated),
+                base,
+                "digest ignores {field}: a mutated statement would reuse \
+                 the honest copy's cached verdict"
+            );
+        }
     }
 
     #[test]

@@ -284,6 +284,42 @@ fn tampered_proofs_and_unknown_roots_match_serial() {
 }
 
 #[test]
+fn mutated_public_inputs_with_original_binding_cannot_reuse_cached_verdict() {
+    let mut f = Fixture::new(2, 8);
+    let good = f.wire(0, 11_000, b"legit");
+    // the replay attack the statement digest must defeat: take a valid
+    // signal and rewrite a public input while keeping the original
+    // (valid) binding. The binding is only authenticated inside the
+    // verifier, so if the digest ignored these fields the forgery would
+    // resolve against the honest copy's cached `true` verdict, land in a
+    // fresh nullifier slot, and bypass the rate limit — where the serial
+    // validator rejects it as an invalid proof.
+    let mut forged_nullifier = good.clone();
+    forged_nullifier.signal.internal_nullifier = Fr::from_u64(999_999);
+    let mut forged_share = good.clone();
+    forged_share.signal.share.y = Fr::from_u64(123_456);
+    let stream = vec![
+        // same flush window as the original: in-batch dedup must miss
+        (11_000, good),
+        (11_100, forged_nullifier.clone()),
+        (11_200, forged_share),
+        // later flush: the cross-flush cache must not confuse the forgery
+        // with the (now cached) honest statement either
+        (12_000, forged_nullifier),
+    ];
+    let piped = assert_equivalent(&f, &stream, 3);
+    assert_eq!(piped.stats().valid, 1, "a forged variant was accepted");
+    assert_eq!(piped.stats().invalid_proof, 3);
+    assert!(piped.detections().is_empty(), "forgeries polluted slashing");
+    let ps = piped.pipeline_stats().unwrap();
+    // each distinct forgery pays its own (failing) verification; only the
+    // byte-identical re-delivery hits the cache — with a `false` verdict
+    assert_eq!(ps.proofs_verified, 3);
+    assert_eq!(ps.cache_hits, 1);
+    assert_eq!(ps.batch_dedup_hits, 0);
+}
+
+#[test]
 fn pipelined_testbed_still_delivers_and_slashes() {
     use waku_rln::core::{Testbed, TestbedConfig};
 
@@ -332,6 +368,9 @@ enum Mutation {
     TamperProof,
     /// Re-deliver the previous stream entry verbatim (gossip duplicate).
     DuplicatePrevious,
+    /// Re-deliver the previous entry with a rewritten internal nullifier
+    /// but its original binding (the forged-replay rate-limit bypass).
+    MutatePreviousNullifier,
 }
 
 proptest! {
@@ -344,7 +383,7 @@ proptest! {
     fn prop_pipeline_equals_serial(
         seed in 0u64..1_000,
         batch in 1usize..7,
-        picks in proptest::collection::vec((0usize..6, 0u64..3, 0u8..3), 3..10),
+        picks in proptest::collection::vec((0usize..6, 0u64..3, 0u8..4), 3..10),
     ) {
         let mut f = Fixture::new(6, 1_000 + seed);
         let mut stream: Vec<(u64, WireSignal)> = Vec::new();
@@ -352,7 +391,8 @@ proptest! {
             let mutation = match mutation {
                 0 => Mutation::Keep,
                 1 => Mutation::TamperProof,
-                _ => Mutation::DuplicatePrevious,
+                2 => Mutation::DuplicatePrevious,
+                _ => Mutation::MutatePreviousNullifier,
             };
             let now = 11_000 + epoch_slot * 10_000 + stream.len() as u64 * 97;
             match mutation {
@@ -360,7 +400,12 @@ proptest! {
                     let prev = stream.last().unwrap().1.clone();
                     stream.push((now.max(stream.last().unwrap().0), prev));
                 }
-                Mutation::DuplicatePrevious | Mutation::Keep => {
+                Mutation::MutatePreviousNullifier if !stream.is_empty() => {
+                    let mut prev = stream.last().unwrap().1.clone();
+                    prev.signal.internal_nullifier = Fr::from_u64(777_000 + now);
+                    stream.push((now.max(stream.last().unwrap().0), prev));
+                }
+                Mutation::DuplicatePrevious | Mutation::MutatePreviousNullifier | Mutation::Keep => {
                     let wire = f.wire(member, now, format!("m-{member}-{now}").as_bytes());
                     stream.push((now, wire));
                 }
