@@ -94,7 +94,7 @@ pub fn run_rln(scenario: Scenario) -> SchemeOutcome {
         .iter()
         .filter(|p| tb.delivery_count(p, attacker) >= majority(n))
         .count();
-    let cpu_total: u64 = (0..n)
+    let cpu_total: u64 = (0..n as u64)
         .map(|i| tb.net.metrics().node_counter(i, "cpu_micros"))
         .sum();
     // the attacker's escrowed stake was (partly) burnt on slashing —
@@ -173,7 +173,7 @@ pub fn run_peer_scoring(scenario: Scenario) -> SchemeOutcome {
             .peer_score()
             .graylisted(NodeId(attacker))
     });
-    let cpu_total: u64 = (0..n)
+    let cpu_total: u64 = (0..n as u64)
         .map(|i| net.metrics().node_counter(i, "cpu_micros"))
         .sum();
 
@@ -295,7 +295,7 @@ pub fn run_pow(params: PowScenario) -> SchemeOutcome {
         .filter(|p| delivered(p, 0) >= majority(n))
         .count();
     let _ = honest_sent;
-    let cpu_total: u64 = (0..n)
+    let cpu_total: u64 = (0..n as u64)
         .map(|i| net.metrics().node_counter(i, "cpu_micros"))
         .sum();
 

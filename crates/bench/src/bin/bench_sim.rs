@@ -1,0 +1,79 @@
+//! `bench_sim` — emit `BENCH_sim.json`, the sharded-scheduler
+//! thread-count sweep.
+//!
+//! ```text
+//! bench_sim [--scenario NAME] [--nodes N] [--seed S]
+//!           [--threads T1,T2,..] [--reps R] [--out PATH]
+//! ```
+//!
+//! Defaults: `baseline`, 1000 nodes, seed 2022, threads `1,2,4,8`,
+//! 1 repetition, `BENCH_sim.json`. Every thread count must reproduce the
+//! same `ScenarioReport` byte for byte — the run aborts otherwise. See
+//! `PERF.md` for how to read the numbers (notably: a 1-core host shows
+//! ≈1.0× by construction).
+
+use wakurln_bench::sim_report::{run, SimReportConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_sim [--scenario NAME] [--nodes N] [--seed S]");
+    eprintln!("                 [--threads T1,T2,..] [--reps R] [--out PATH]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut config = SimReportConfig::default();
+    let mut out_path = "BENCH_sim.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rest = args.iter();
+    while let Some(flag) = rest.next() {
+        let mut value = |what: &str| -> String {
+            rest.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_usize = |raw: String, what: &str| -> usize {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("{what} needs an integer, got: {raw}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scenario" => config.scenario = value("--scenario"),
+            "--nodes" => config.nodes = parse_usize(value("--nodes"), "--nodes"),
+            "--seed" => config.seed = parse_usize(value("--seed"), "--seed") as u64,
+            "--reps" => config.reps = parse_usize(value("--reps"), "--reps").max(1),
+            "--threads" => {
+                let raw = value("--threads");
+                let parsed: Option<Vec<usize>> =
+                    raw.split(',').map(|v| v.trim().parse().ok()).collect();
+                match parsed {
+                    Some(v) if !v.is_empty() => config.threads = v,
+                    _ => {
+                        eprintln!("--threads needs a comma-separated integer list, got: {raw}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => out_path = value("--out"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    eprintln!(
+        "bench_sim: {} @ {} nodes, seed {}, threads {:?}, {} rep(s)...",
+        config.scenario, config.nodes, config.seed, config.threads, config.reps
+    );
+    let report = run(&config);
+    eprint!("{}", report.summary());
+    let json = report.to_json();
+    print!("{json}");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

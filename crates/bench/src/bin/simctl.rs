@@ -2,24 +2,30 @@
 //!
 //! ```text
 //! simctl list
-//! simctl run <scenario> [--nodes N] [--seed S] [--spam-rate PCT]
-//!                       [--churn-rate PCT] [--out PATH]
-//! simctl sweep <scenario> --nodes N1,N2,.. [--seeds S1,S2,..]
+//! simctl run <scenario> [--nodes N] [--seed S] [--threads T] [--progress]
+//!                       [--spam-rate PCT] [--churn-rate PCT] [--out PATH]
+//! simctl sweep <scenario> --nodes N1,N2,.. [--seeds S1,S2,..] [--threads T]
 //!                         [--spam-rate PCT] [--churn-rate PCT] [--out PATH]
 //! ```
 //!
 //! `run` executes one built-in scenario (default 1000 nodes, seed 2022)
 //! and prints its `ScenarioReport` JSON to stdout; `sweep` runs the
 //! cartesian product of node counts and seeds and prints a JSON array.
-//! Progress goes to stderr. See `docs/SCENARIOS.md`.
+//! `--threads` sets the sharded scheduler's worker count (0 =
+//! auto-detect; any value yields byte-identical reports), and
+//! `--progress` prints per-simulated-second throughput to stderr so long
+//! 10k-node runs are not silent. See `docs/SCENARIOS.md`.
 
-use wakurln_scenarios::{builtin, ChurnAction, ChurnEvent, ScenarioSpec, SpamSpec, BUILTIN_NAMES};
+use wakurln_scenarios::{
+    builtin, run_scenario, run_scenario_with_progress, ChurnAction, ChurnEvent, Progress,
+    ScenarioSpec, SpamSpec, BUILTIN_NAMES,
+};
 
 fn usage() -> ! {
     eprintln!("usage: simctl list");
-    eprintln!("       simctl run <scenario> [--nodes N] [--seed S] [--spam-rate PCT]");
-    eprintln!("                             [--churn-rate PCT] [--out PATH]");
-    eprintln!("       simctl sweep <scenario> --nodes N1,N2,.. [--seeds S1,S2,..]");
+    eprintln!("       simctl run <scenario> [--nodes N] [--seed S] [--threads T] [--progress]");
+    eprintln!("                             [--spam-rate PCT] [--churn-rate PCT] [--out PATH]");
+    eprintln!("       simctl sweep <scenario> --nodes N1,N2,.. [--seeds S1,S2,..] [--threads T]");
     eprintln!("                               [--spam-rate PCT] [--churn-rate PCT] [--out PATH]");
     eprintln!("scenarios: {}", BUILTIN_NAMES.join(", "));
     std::process::exit(2)
@@ -34,25 +40,41 @@ struct Overrides {
     /// Percentage of honest peers that crash mid-run (replaces the
     /// scenario's own churn schedule when set).
     churn_rate_pct: Option<f64>,
+    /// Scheduler worker threads (0 = auto). Purely a wall-clock knob:
+    /// reports are byte-identical for every value.
+    threads: Option<usize>,
 }
 
 fn apply_overrides(spec: &mut ScenarioSpec, overrides: &Overrides) {
+    if let Some(threads) = overrides.threads {
+        spec.threads = threads;
+    }
+    // rate 0 means "no attack" — the control row of a sweep — not "one
+    // attacker"; only positive rates round up to at least one
     if let Some(pct) = overrides.spam_rate_pct {
-        let spammers = ((spec.honest as f64 * pct / 100.0).round() as usize).max(1);
-        spec.spam = Some(SpamSpec {
-            spammers,
-            burst: spec.spam.map(|s| s.burst).unwrap_or(6),
-            at_ms: spec.spam.map(|s| s.at_ms).unwrap_or(15_000),
-        });
-        spec.drain_ms = spec.drain_ms.max(60_000);
+        if pct <= 0.0 {
+            spec.spam = None;
+        } else {
+            let spammers = ((spec.honest as f64 * pct / 100.0).round() as usize).max(1);
+            spec.spam = Some(SpamSpec {
+                spammers,
+                burst: spec.spam.map(|s| s.burst).unwrap_or(6),
+                at_ms: spec.spam.map(|s| s.at_ms).unwrap_or(15_000),
+            });
+            spec.drain_ms = spec.drain_ms.max(60_000);
+        }
     }
     if let Some(pct) = overrides.churn_rate_pct {
-        let peers = ((spec.honest as f64 * pct / 100.0).round() as usize).max(1);
-        spec.churn = vec![ChurnEvent {
-            at_ms: 20_000,
-            action: ChurnAction::Crash { peers },
-        }];
-        spec.drain_ms = spec.drain_ms.max(60_000);
+        if pct <= 0.0 {
+            spec.churn = Vec::new();
+        } else {
+            let peers = ((spec.honest as f64 * pct / 100.0).round() as usize).max(1);
+            spec.churn = vec![ChurnEvent {
+                at_ms: 20_000,
+                action: ChurnAction::Crash { peers },
+            }];
+            spec.drain_ms = spec.drain_ms.max(60_000);
+        }
     }
 }
 
@@ -103,6 +125,44 @@ fn emit(json: &str, out_path: Option<&str>) {
     }
 }
 
+/// Runs one spec, optionally streaming a per-simulated-second progress
+/// line to stderr (throttled to roughly one line per wall-second).
+fn execute(spec: &ScenarioSpec, progress: bool) -> wakurln_scenarios::ScenarioReport {
+    if !progress {
+        return run_scenario(spec);
+    }
+    let mut last_print_wall = 0u64;
+    let mut last = (0u64, 0u64); // (sim_ms, events) at the last line
+    run_scenario_with_progress(spec, |p: &Progress| {
+        let due = p.wall_ms.saturating_sub(last_print_wall) >= 1_000 || p.sim_ms >= p.total_ms;
+        if !due {
+            return;
+        }
+        let dsim = p.sim_ms - last.0;
+        let devents = p.events_dispatched - last.1;
+        let events_per_sim_s = if dsim > 0 {
+            devents as f64 * 1000.0 / dsim as f64
+        } else {
+            0.0
+        };
+        let wall_rate = if p.wall_ms > 0 {
+            p.sim_ms as f64 / p.wall_ms as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  progress: {:>6.1}s / {:.1}s sim | {} events | {:.0} events/sim-s | {:.2} sim-ms/wall-ms",
+            p.sim_ms as f64 / 1000.0,
+            p.total_ms as f64 / 1000.0,
+            p.events_dispatched,
+            events_per_sim_s,
+            wall_rate,
+        );
+        last_print_wall = p.wall_ms;
+        last = (p.sim_ms, p.events_dispatched);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
@@ -125,6 +185,7 @@ fn main() {
     let mut seeds: Vec<u64> = vec![2022];
     let mut overrides = Overrides::default();
     let mut out_path: Option<String> = None;
+    let mut progress = false;
     let mut rest = args[2..].iter();
     while let Some(flag) = rest.next() {
         let mut value = |what: &str| -> String {
@@ -149,6 +210,13 @@ fn main() {
                         std::process::exit(2);
                     }))
             }
+            "--threads" => {
+                overrides.threads = Some(value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs an integer (0 = auto)");
+                    std::process::exit(2);
+                }))
+            }
+            "--progress" => progress = true,
             "--out" => out_path = Some(value("--out")),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -169,7 +237,7 @@ fn main() {
             spec.seed,
             spec.duration_ms()
         );
-        let report = wakurln_scenarios::run_scenario(&spec);
+        let report = execute(&spec, progress);
         eprintln!("{}", report.summary_line());
         emit(&report.to_json(), out_path.as_deref());
         return;
@@ -187,7 +255,7 @@ fn main() {
                 total,
                 spec.initial_peers(),
             );
-            let report = wakurln_scenarios::run_scenario(&spec);
+            let report = execute(&spec, progress);
             eprintln!("  {}", report.summary_line());
             reports.push(report);
         }

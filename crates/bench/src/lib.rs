@@ -10,6 +10,7 @@
 
 pub mod crypto_report;
 pub mod pipeline_report;
+pub mod sim_report;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

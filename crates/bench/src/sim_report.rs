@@ -1,0 +1,276 @@
+//! The `BENCH_sim.json` scheduler thread-sweep report.
+//!
+//! Runs one built-in scenario at a fixed `(nodes, seed)` across a sweep
+//! of scheduler worker-thread counts and reports wall-clock time,
+//! event throughput and the speedup relative to one thread. Before any
+//! number is reported, the sweep **asserts the scheduler's determinism
+//! contract**: every thread count must produce a byte-identical
+//! `ScenarioReport` — a sweep that bought speed by changing the
+//! simulation would be worthless.
+//!
+//! Caveat recorded in the output: on a single-core host (like the
+//! 1-core container this repository is usually built in) the worker
+//! pool timeshares one CPU, so `speedup_vs_1_thread ≈ 1.0` by design;
+//! the sweep shows real wall-clock wins only where
+//! `host_parallelism > 1`. The determinism assertion is meaningful
+//! everywhere.
+
+use std::time::Instant;
+use wakurln_scenarios::{builtin, ScenarioReport, BUILTIN_NAMES};
+
+/// Configuration for one sweep.
+#[derive(Clone, Debug)]
+pub struct SimReportConfig {
+    /// Built-in scenario name (see [`BUILTIN_NAMES`]).
+    pub scenario: String,
+    /// Honest-peer count.
+    pub nodes: usize,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Thread counts to sweep, in order.
+    pub threads: Vec<usize>,
+    /// Repetitions per thread count (best run reported, damping
+    /// scheduler noise on shared machines).
+    pub reps: usize,
+}
+
+impl Default for SimReportConfig {
+    fn default() -> SimReportConfig {
+        SimReportConfig {
+            scenario: "baseline".to_string(),
+            nodes: 1000,
+            seed: 2022,
+            threads: vec![1, 2, 4, 8],
+            reps: 1,
+        }
+    }
+}
+
+/// One row of the sweep.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Scheduler worker threads.
+    pub threads: usize,
+    /// Best wall-clock time over the repetitions, milliseconds.
+    pub wall_ms: u64,
+    /// Events dispatched per wall-clock second.
+    pub events_per_sec: f64,
+    /// `wall_ms(threads = 1) / wall_ms(this row)`.
+    pub speedup_vs_1_thread: f64,
+}
+
+/// The full report.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Honest-peer count.
+    pub nodes: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Simulated duration, milliseconds.
+    pub sim_duration_ms: u64,
+    /// Events one run dispatches (identical across thread counts).
+    pub events_dispatched: u64,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// the context without which the speedup column cannot be read.
+    pub host_parallelism: usize,
+    /// Whether every thread count produced byte-identical report JSON.
+    /// The runner panics if not, so a written report always says `true`;
+    /// the field keeps the claim explicit in the artifact.
+    pub determinism_byte_identical: bool,
+    /// Delivery rate of the swept run, parsed back from the reference
+    /// report bytes via [`ScenarioReport::from_json`] — sanity context
+    /// for the throughput numbers (a fast run of a broken scenario is
+    /// worthless), and a live consumer of the report round-trip path.
+    pub delivery_rate: f64,
+    /// Wire messages of the swept run (same parsed reference report).
+    pub messages_sent: u64,
+    /// Sweep rows, in the order requested.
+    pub sweep: Vec<SweepRow>,
+}
+
+/// Runs the sweep.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name, or — the determinism contract —
+/// when two thread counts disagree on the report bytes.
+pub fn run(config: &SimReportConfig) -> SimReport {
+    assert!(!config.threads.is_empty(), "sweep needs thread counts");
+    assert!(config.reps >= 1, "need at least one repetition");
+    let base = builtin(&config.scenario, config.nodes, config.seed).unwrap_or_else(|| {
+        panic!(
+            "unknown scenario {:?}; one of {}",
+            config.scenario,
+            BUILTIN_NAMES.join(", ")
+        )
+    });
+    let mut reference: Option<String> = None;
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut events_dispatched = 0u64;
+    for &threads in &config.threads {
+        let mut spec = base.clone();
+        spec.threads = threads.max(1); // 0 would re-auto-detect and blur the sweep
+        let mut best_wall = u64::MAX;
+        for _ in 0..config.reps {
+            let started = Instant::now();
+            let (report, tb) = wakurln_scenarios::run_scenario_detailed(&spec);
+            let wall = started.elapsed().as_millis().max(1) as u64;
+            best_wall = best_wall.min(wall);
+            events_dispatched = tb.net.events_dispatched();
+            let json = report.to_json();
+            match &reference {
+                None => reference = Some(json),
+                Some(reference) => assert_eq!(
+                    reference, &json,
+                    "determinism violated: threads={threads} changed the report"
+                ),
+            }
+        }
+        rows.push(SweepRow {
+            threads: spec.threads,
+            wall_ms: best_wall,
+            events_per_sec: 0.0,      // filled once events are known
+            speedup_vs_1_thread: 0.0, // filled against row 0
+        });
+    }
+    // the speedup base is the threads=1 row wherever it sits in the
+    // sweep order (falling back to the first row when 1 wasn't swept)
+    let reference_json = reference.as_deref().expect("at least one run");
+    let parsed = ScenarioReport::from_json(reference_json)
+        .expect("bench_sim reports round-trip through ScenarioReport::from_json");
+    let base_wall = rows
+        .iter()
+        .find(|r| r.threads == 1)
+        .unwrap_or(&rows[0])
+        .wall_ms;
+    for row in &mut rows {
+        row.events_per_sec = events_dispatched as f64 * 1000.0 / row.wall_ms as f64;
+        row.speedup_vs_1_thread = base_wall as f64 / row.wall_ms as f64;
+    }
+    SimReport {
+        scenario: config.scenario.clone(),
+        nodes: config.nodes,
+        seed: config.seed,
+        sim_duration_ms: base.duration_ms(),
+        events_dispatched,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        determinism_byte_identical: reference.is_some(),
+        delivery_rate: parsed.delivery_rate,
+        messages_sent: parsed.messages_sent,
+        sweep: rows,
+    }
+}
+
+impl SimReport {
+    /// Serializes as stable JSON (hand-rolled; fixed field order and
+    /// float formatting, like every other `BENCH_*.json` artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"bench_sim/v1\",\n");
+        out.push_str(&format!("  \"scenario\": \"{}\",\n", self.scenario));
+        out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!(
+            "  \"sim_duration_ms\": {},\n",
+            self.sim_duration_ms
+        ));
+        out.push_str(&format!(
+            "  \"events_dispatched\": {},\n",
+            self.events_dispatched
+        ));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        out.push_str(&format!(
+            "  \"determinism_byte_identical\": {},\n",
+            self.determinism_byte_identical
+        ));
+        out.push_str(&format!(
+            "  \"delivery_rate\": {:.6},\n",
+            self.delivery_rate
+        ));
+        out.push_str(&format!("  \"messages_sent\": {},\n", self.messages_sent));
+        out.push_str("  \"sweep\": [\n");
+        for (i, row) in self.sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"wall_ms\": {}, \"events_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.3}}}{}\n",
+                row.threads,
+                row.wall_ms,
+                row.events_per_sec,
+                row.speedup_vs_1_thread,
+                if i + 1 < self.sweep.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable sweep table (stderr companion of the JSON).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{} @ {} nodes, seed {}: {} events over {} sim-ms (host parallelism {})\n",
+            self.scenario,
+            self.nodes,
+            self.seed,
+            self.events_dispatched,
+            self.sim_duration_ms,
+            self.host_parallelism,
+        );
+        for row in &self.sweep {
+            out.push_str(&format!(
+                "  threads {:>2}: {:>8} ms  {:>12.0} events/s  {:>6.3}x\n",
+                row.threads, row.wall_ms, row.events_per_sec, row.speedup_vs_1_thread
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_has_stable_schema_and_determinism() {
+        let report = run(&SimReportConfig {
+            scenario: "baseline".to_string(),
+            nodes: 10,
+            seed: 7,
+            threads: vec![1, 2],
+            reps: 1,
+        });
+        assert!(report.determinism_byte_identical);
+        assert_eq!(report.sweep.len(), 2);
+        assert!(report.events_dispatched > 0);
+        let json = report.to_json();
+        for field in [
+            "\"schema\": \"bench_sim/v1\"",
+            "\"determinism_byte_identical\": true",
+            "\"host_parallelism\"",
+            "\"delivery_rate\"",
+            "\"sweep\"",
+            "\"speedup_vs_1_thread\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert!(report.delivery_rate > 0.5, "swept run did not deliver");
+    }
+
+    #[test]
+    fn speedup_base_is_the_threads_1_row_regardless_of_sweep_order() {
+        let report = run(&SimReportConfig {
+            scenario: "baseline".to_string(),
+            nodes: 10,
+            seed: 7,
+            threads: vec![2, 1],
+            reps: 1,
+        });
+        let one = report.sweep.iter().find(|r| r.threads == 1).expect("swept");
+        assert!((one.speedup_vs_1_thread - 1.0).abs() < 1e-9);
+    }
+}

@@ -18,7 +18,7 @@ use wakurln_crypto::merkle::{zero_hashes, MerkleProof};
 use wakurln_ethsim::types::{Address, CallData, ChainEvent, Wei, ETHER};
 use wakurln_ethsim::{Chain, ChainConfig};
 use wakurln_gossipsub::{GossipsubConfig, MessageId, ScoringConfig};
-use wakurln_netsim::{topology, Network, NodeId, UniformLatency};
+use wakurln_netsim::{topology, Network, NodeId, QuiescenceOutcome, UniformLatency};
 use wakurln_rln::{Identity, RlnGroup};
 use wakurln_zksnark::{ProvingKey, RlnCircuit, SimSnark, VerifyingKey};
 
@@ -63,6 +63,11 @@ pub struct TestbedConfig {
     /// Batched validation pipeline knobs; `None` keeps the serial
     /// per-message validator (byte-identical to pre-pipeline behaviour).
     pub pipeline: Option<PipelineConfig>,
+    /// Worker threads for the network's sharded batch scheduler (`0` =
+    /// auto-detect). Any value produces byte-identical simulations — the
+    /// scheduler's determinism contract — so this is purely a wall-clock
+    /// knob.
+    pub threads: usize,
     /// Stake per member, wei.
     pub stake: Wei,
 }
@@ -80,6 +85,7 @@ impl Default for TestbedConfig {
             scoring: ScoringConfig::default(),
             cost: CostModel::default(),
             pipeline: None,
+            threads: 1,
             stake: ETHER,
         }
     }
@@ -157,6 +163,7 @@ impl Testbed {
             },
             config.seed,
         );
+        net.set_threads(config.threads);
 
         let empty_root = zero_hashes()[config.tree_depth];
         let mut addresses = Vec::with_capacity(config.n_peers);
@@ -352,6 +359,22 @@ impl Testbed {
         }
     }
 
+    /// Advances the world like [`Testbed::run`], then reports whether the
+    /// network actually settled by `hard_stop` — the scheduler's
+    /// [`QuiescenceOutcome`] instead of silently swallowing leftover
+    /// events. With live gossip nodes the outcome is normally `HardStop`
+    /// (heartbeat timers re-arm forever); the pending-event count still
+    /// distinguishes a healthy idle mesh from a queue that is growing.
+    pub fn run_to_quiescence(&mut self, hard_stop: u64, slice_ms: u64) -> QuiescenceOutcome {
+        let now = self.net.now();
+        if hard_stop > now {
+            self.run(hard_stop - now, slice_ms);
+        }
+        // everything ≤ hard_stop has been processed by the sliced run;
+        // this only classifies what is left in the queue
+        self.net.run_to_quiescence(hard_stop)
+    }
+
     /// Publishes through a peer's honest pipeline (rate-limited).
     ///
     /// # Errors
@@ -432,15 +455,15 @@ impl Testbed {
         self.mirror
             .register_batch(burst)
             .expect("mirror batch registration");
-        for i in 0..self.net.len() {
-            if !self.net.is_active(NodeId(i)) {
-                continue; // crashed peers stop syncing
-            }
-            self.net
-                .node_mut(NodeId(i))
-                .apply_registrations(burst)
+        // every live peer ingests the identical burst into its own light
+        // tree — the dominant setup cost at 10k nodes (n peers x n-leaf
+        // burst), and pure per-node work: fan it out over the scheduler's
+        // worker threads (crashed peers stop syncing; the store skips
+        // them)
+        self.net.for_each_node_par(|_, node| {
+            node.apply_registrations(burst)
                 .expect("peer registration sync");
-        }
+        });
         self.replay_log.push(ReplayEvent::RegisteredBurst {
             commitments: std::mem::take(burst),
         });

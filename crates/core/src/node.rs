@@ -235,7 +235,7 @@ impl RlnRelayNode {
     /// second message in one epoch — honest peers never double-signal.
     pub fn publish(
         &mut self,
-        ctx: &mut Context<'_, Rpc>,
+        ctx: &mut Context<Rpc>,
         payload: &[u8],
     ) -> Result<MessageId, PublishError> {
         let epoch = self.epoch_scheme.epoch_at_ms(ctx.now());
@@ -257,7 +257,7 @@ impl RlnRelayNode {
     /// See [`PublishError`] (all but `RateLimited` still apply).
     pub fn publish_unchecked(
         &mut self,
-        ctx: &mut Context<'_, Rpc>,
+        ctx: &mut Context<Rpc>,
         payload: &[u8],
     ) -> Result<MessageId, PublishError> {
         self.publish_with_epoch_offset(ctx, payload, 0)
@@ -273,7 +273,7 @@ impl RlnRelayNode {
     /// See [`PublishError`].
     pub fn publish_with_epoch_offset(
         &mut self,
-        ctx: &mut Context<'_, Rpc>,
+        ctx: &mut Context<Rpc>,
         payload: &[u8],
         epoch_offset: i64,
     ) -> Result<MessageId, PublishError> {
@@ -301,7 +301,7 @@ impl RlnRelayNode {
     /// junk-injection attack primitive (a peer spraying malformed frames).
     /// Honest relayers reject these at validation and penalize the
     /// forwarding peer's score.
-    pub fn inject_raw(&mut self, ctx: &mut Context<'_, Rpc>, waku: &WakuMessage) -> MessageId {
+    pub fn inject_raw(&mut self, ctx: &mut Context<Rpc>, waku: &WakuMessage) -> MessageId {
         self.relay.publish(ctx, waku)
     }
 
@@ -343,11 +343,11 @@ impl RlnRelayNode {
 impl Node for RlnRelayNode {
     type Message = Rpc;
 
-    fn on_start(&mut self, ctx: &mut Context<'_, Rpc>) {
+    fn on_start(&mut self, ctx: &mut Context<Rpc>) {
         self.relay.on_start(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: Rpc) {
+    fn on_message(&mut self, ctx: &mut Context<Rpc>, from: NodeId, msg: Rpc) {
         if self.censor && matches!(msg, Rpc::Forward(_)) {
             ctx.count("censored_forwards", 1);
             return;
@@ -355,7 +355,7 @@ impl Node for RlnRelayNode {
         self.relay.on_message(ctx, from, msg);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, Rpc>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Context<Rpc>, token: u64) {
         self.relay.on_timer(ctx, token);
     }
 }

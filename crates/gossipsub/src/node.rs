@@ -61,7 +61,10 @@ pub struct BatchDecision {
 /// a message, and the node completes delivery/forwarding when a later
 /// `flush` — triggered by a full batch or the flush timer — releases the
 /// verdict.
-pub trait Validator {
+///
+/// `Send` because a node (validator included) may execute its share of a
+/// same-timestamp event batch on a scheduler worker thread.
+pub trait Validator: Send {
     /// Judges a message before delivery/forwarding. `now_ms` is simulated
     /// time; implementations may mutate internal state (nullifier maps…).
     fn validate(&mut self, now_ms: u64, topic: &Topic, data: &[u8]) -> ValidationResult;
@@ -192,7 +195,7 @@ impl<V: Validator> GossipsubNode<V> {
     }
 
     /// Subscribes at runtime, announcing to all known peers.
-    pub fn subscribe_live(&mut self, ctx: &mut Context<'_, Rpc>, topic: Topic) {
+    pub fn subscribe_live(&mut self, ctx: &mut Context<Rpc>, topic: Topic) {
         self.subscribe(topic.clone());
         for peer in self.known_peers.clone() {
             ctx.send(peer, Rpc::Subscribe(topic.clone()));
@@ -205,7 +208,7 @@ impl<V: Validator> GossipsubNode<V> {
     /// not the bytes.
     pub fn publish(
         &mut self,
-        ctx: &mut Context<'_, Rpc>,
+        ctx: &mut Context<Rpc>,
         topic: Topic,
         data: impl Into<Bytes>,
     ) -> MessageId {
@@ -281,7 +284,7 @@ impl<V: Validator> GossipsubNode<V> {
             .collect()
     }
 
-    fn handle_forward(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: RawMessage) {
+    fn handle_forward(&mut self, ctx: &mut Context<Rpc>, from: NodeId, msg: RawMessage) {
         let id = msg.id();
         if self.seen.contains_key(&id) {
             ctx.count("duplicates", 1);
@@ -309,7 +312,7 @@ impl<V: Validator> GossipsubNode<V> {
     /// batched-flush path.
     fn apply_verdict(
         &mut self,
-        ctx: &mut Context<'_, Rpc>,
+        ctx: &mut Context<Rpc>,
         from: NodeId,
         msg: RawMessage,
         id: MessageId,
@@ -349,7 +352,7 @@ impl<V: Validator> GossipsubNode<V> {
     }
 
     /// Drains the validator's batch and completes every released verdict.
-    fn complete_flush(&mut self, ctx: &mut Context<'_, Rpc>) {
+    fn complete_flush(&mut self, ctx: &mut Context<Rpc>) {
         for decision in self.validator.flush(ctx.now()) {
             let Some((from, msg, id)) = self.pending_validation.remove(&decision.ticket) else {
                 continue; // unknown ticket: validator-internal bookkeeping
@@ -361,7 +364,7 @@ impl<V: Validator> GossipsubNode<V> {
 
     fn handle_ihave(
         &mut self,
-        ctx: &mut Context<'_, Rpc>,
+        ctx: &mut Context<Rpc>,
         from: NodeId,
         _topic: Topic,
         ids: Vec<MessageId>,
@@ -385,7 +388,7 @@ impl<V: Validator> GossipsubNode<V> {
         ctx.send(from, Rpc::IWant { ids: wanted });
     }
 
-    fn handle_iwant(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, ids: Vec<MessageId>) {
+    fn handle_iwant(&mut self, ctx: &mut Context<Rpc>, from: NodeId, ids: Vec<MessageId>) {
         for id in ids.into_iter().take(self.config.max_iwant_per_heartbeat) {
             if let Some(msg) = self.mcache.get(&id) {
                 ctx.send(from, Rpc::Forward(msg.clone()));
@@ -393,7 +396,7 @@ impl<V: Validator> GossipsubNode<V> {
         }
     }
 
-    fn handle_graft(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, topic: Topic) {
+    fn handle_graft(&mut self, ctx: &mut Context<Rpc>, from: NodeId, topic: Topic) {
         let subscribed = self.subscriptions.contains(&topic);
         let acceptable = !self.config.scoring_enabled || !self.score.should_evict(from);
         if subscribed && acceptable {
@@ -415,7 +418,7 @@ impl<V: Validator> GossipsubNode<V> {
     /// Churn repair: ping quiet peers, presume peers silent beyond the
     /// timeout dead, and drop them from mesh and candidate tables so the
     /// graft step can backfill with live peers.
-    fn liveness_sweep(&mut self, ctx: &mut Context<'_, Rpc>) {
+    fn liveness_sweep(&mut self, ctx: &mut Context<Rpc>) {
         let timeout = self.config.peer_timeout_ms;
         if timeout == 0 {
             return;
@@ -450,7 +453,7 @@ impl<V: Validator> GossipsubNode<V> {
         }
     }
 
-    fn heartbeat(&mut self, ctx: &mut Context<'_, Rpc>) {
+    fn heartbeat(&mut self, ctx: &mut Context<Rpc>) {
         if self.config.scoring_enabled {
             self.score.heartbeat();
         }
@@ -557,7 +560,7 @@ impl<V: Validator> GossipsubNode<V> {
 impl<V: Validator> Node for GossipsubNode<V> {
     type Message = Rpc;
 
-    fn on_start(&mut self, ctx: &mut Context<'_, Rpc>) {
+    fn on_start(&mut self, ctx: &mut Context<Rpc>) {
         for topic in self.subscriptions.clone() {
             for peer in self.known_peers.clone() {
                 ctx.send(peer, Rpc::Subscribe(topic.clone()));
@@ -574,7 +577,7 @@ impl<V: Validator> Node for GossipsubNode<V> {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: Rpc) {
+    fn on_message(&mut self, ctx: &mut Context<Rpc>, from: NodeId, msg: Rpc) {
         // any frame proves liveness, even one we will refuse to process
         self.last_heard.insert(from, ctx.now());
         if self.config.scoring_enabled && self.score.graylisted(from) {
@@ -612,7 +615,7 @@ impl<V: Validator> Node for GossipsubNode<V> {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, Rpc>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Context<Rpc>, token: u64) {
         if token == TIMER_HEARTBEAT {
             self.heartbeat(ctx);
         } else if token == TIMER_FLUSH {

@@ -8,6 +8,10 @@
 //! * [`sim`] — event queue, nodes, contexts, deterministic execution,
 //!   churn support (late joins via [`sim::Network::add_node`], crashes
 //!   via [`sim::Network::remove_node`]),
+//! * [`scheduler`] — the deterministic sharded batch scheduler: events
+//!   sharing a timestamp execute as a shard-partitioned batch (worker
+//!   threads behind the `parallel` feature) and merge back in canonical
+//!   order, so `threads = 1` and `threads = N` are byte-identical,
 //! * [`bytes`] — `Arc`-backed shared payload bytes (clone-free gossip
 //!   forwarding with `O(1)` wire-size accounting),
 //! * [`latency`] — link latency and loss models (and the network-delay
@@ -21,10 +25,12 @@
 pub mod bytes;
 pub mod latency;
 pub mod metrics;
+pub mod scheduler;
 pub mod sim;
 pub mod topology;
 
 pub use bytes::Bytes;
 pub use latency::{ConstantLatency, InternetLatency, LatencyModel, UniformLatency};
 pub use metrics::Metrics;
-pub use sim::{Context, Network, Node, NodeId, Payload};
+pub use scheduler::stream_seed;
+pub use sim::{Context, Network, Node, NodeId, Payload, QuiescenceOutcome};

@@ -7,11 +7,13 @@ use std::collections::HashMap;
 /// Protocols write into this through
 /// [`Context`](crate::sim::Context) helpers; experiment harnesses read the
 /// totals after [`Network::run_until`](crate::sim::Network::run_until).
+/// Per-node keys are explicit `u64` (not `usize`): report fields derived
+/// from them are wire-stable across 32- and 64-bit platforms.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     counters: HashMap<String, u64>,
     values: HashMap<String, Vec<f64>>,
-    per_node: HashMap<(usize, String), u64>,
+    per_node: HashMap<(u64, String), u64>,
     /// Bytes put on the wire by each node. Kept out of `per_node` because
     /// it is bumped on every send — a dense `Vec` avoids a string-keyed
     /// hash insert on the hot path.
@@ -30,7 +32,7 @@ impl Metrics {
     }
 
     /// Adds `n` to a per-node counter.
-    pub fn count_node(&mut self, node: usize, key: &str, n: u64) {
+    pub fn count_node(&mut self, node: u64, key: &str, n: u64) {
         *self.per_node.entry((node, key.to_string())).or_default() += n;
     }
 
@@ -41,7 +43,8 @@ impl Metrics {
 
     /// Adds `n` bytes to `node`'s wire-output tally (hot path: called on
     /// every simulated send).
-    pub fn add_node_bytes_sent(&mut self, node: usize, n: u64) {
+    pub fn add_node_bytes_sent(&mut self, node: u64, n: u64) {
+        let node = node as usize;
         if self.bytes_sent_per_node.len() <= node {
             self.bytes_sent_per_node.resize(node + 1, 0);
         }
@@ -49,8 +52,11 @@ impl Metrics {
     }
 
     /// Bytes `node` put on the wire so far (0 when it never sent).
-    pub fn node_bytes_sent(&self, node: usize) -> u64 {
-        self.bytes_sent_per_node.get(node).copied().unwrap_or(0)
+    pub fn node_bytes_sent(&self, node: u64) -> u64 {
+        self.bytes_sent_per_node
+            .get(node as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Reads a global counter (0 when absent).
@@ -59,7 +65,7 @@ impl Metrics {
     }
 
     /// Reads a per-node counter (0 when absent).
-    pub fn node_counter(&self, node: usize, key: &str) -> u64 {
+    pub fn node_counter(&self, node: u64, key: &str) -> u64 {
         self.per_node
             .get(&(node, key.to_string()))
             .copied()

@@ -3,11 +3,15 @@
 //! A [`Network`] owns a set of protocol state machines (one per simulated
 //! peer), a global event queue ordered by simulated time, a latency/loss
 //! model and the run's [`Metrics`]. Execution is fully deterministic for a
-//! given seed: ties in the queue are broken by insertion sequence, and all
-//! randomness flows through one seeded RNG.
+//! given seed **and independent of the worker-thread count**: events
+//! sharing a timestamp are executed as a batch (possibly on several
+//! threads, see [`crate::scheduler`]), each node draws randomness from its
+//! own seed-derived stream, and every emitted effect is merged back into
+//! the queue in canonical `(timestamp, sequence)` order.
 
 use crate::latency::LatencyModel;
 use crate::metrics::Metrics;
+use crate::scheduler::{stream_seed, NodeStore, LINK_STREAM};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -17,6 +21,19 @@ use std::collections::BinaryHeap;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
+impl NodeId {
+    /// The node-table index this id wraps.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The id as an explicit 64-bit integer — the wire-stable form used
+    /// by metrics and reports (identical on 32- and 64-bit platforms).
+    pub fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
 impl std::fmt::Display for NodeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "peer{}", self.0)
@@ -24,8 +41,9 @@ impl std::fmt::Display for NodeId {
 }
 
 /// Wire-size accounting for protocol messages (drives the bandwidth
-/// counters).
-pub trait Payload: Clone {
+/// counters). `Send` because batches of same-timestamp events may be
+/// executed on worker threads.
+pub trait Payload: Clone + Send {
     /// Approximate serialized size in bytes.
     fn size_bytes(&self) -> usize;
 }
@@ -37,37 +55,39 @@ impl Payload for Vec<u8> {
 }
 
 /// A protocol state machine driven by the simulator.
-pub trait Node {
+///
+/// Callbacks receive an exclusive `&mut self` plus a [`Context`] that
+/// **collects** effects (sends, timers, metric updates) instead of
+/// applying them — the scheduler merges every step's collected output
+/// back into the global queue in canonical order. A step may therefore
+/// run on any worker thread (hence the `Send` supertrait) without
+/// changing the simulation outcome.
+pub trait Node: Send {
     /// The message type exchanged between peers.
-    type Message: Payload;
+    type Message: Payload + Send;
 
     /// Called once when the simulation starts (schedule initial timers
     /// here).
-    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
+    fn on_start(&mut self, ctx: &mut Context<Self::Message>);
 
     /// Called when a message from `from` is delivered.
-    fn on_message(
-        &mut self,
-        ctx: &mut Context<'_, Self::Message>,
-        from: NodeId,
-        msg: Self::Message,
-    );
+    fn on_message(&mut self, ctx: &mut Context<Self::Message>, from: NodeId, msg: Self::Message);
 
     /// Called when a timer set with [`Context::set_timer`] fires.
-    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Message>, token: u64);
+    fn on_timer(&mut self, ctx: &mut Context<Self::Message>, token: u64);
 }
 
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Deliver { from: NodeId, msg: M },
     Timer { token: u64 },
     Start,
 }
 
-struct QueuedEvent<M> {
-    at: u64,
-    seq: u64,
-    node: NodeId,
-    kind: EventKind<M>,
+pub(crate) struct QueuedEvent<M> {
+    pub(crate) at: u64,
+    pub(crate) seq: u64,
+    pub(crate) node: NodeId,
+    pub(crate) kind: EventKind<M>,
 }
 
 impl<M> PartialEq for QueuedEvent<M> {
@@ -88,24 +108,61 @@ impl<M> Ord for QueuedEvent<M> {
     }
 }
 
-enum Effect<M> {
+pub(crate) enum Effect<M> {
     Send { to: NodeId, msg: M },
     Timer { delay_ms: u64, token: u64 },
 }
 
-/// The per-callback execution context handed to protocol code.
-///
-/// Collects side effects (sends, timers) that the simulator applies after
-/// the callback returns, and exposes the clock, the RNG and the metrics.
-pub struct Context<'a, M> {
-    now: u64,
-    node: NodeId,
-    effects: Vec<Effect<M>>,
-    rng: &'a mut StdRng,
-    metrics: &'a mut Metrics,
+/// One buffered metrics update, replayed into [`Metrics`] when a step's
+/// output is merged. Keys are `&'static str` so buffering allocates
+/// nothing beyond the op list itself.
+pub(crate) enum MetricOp {
+    Count(&'static str, u64),
+    CountNode(u64, &'static str, u64),
+    Record(&'static str, f64),
 }
 
-impl<'a, M: Payload> Context<'a, M> {
+pub(crate) fn apply_metric_op(metrics: &mut Metrics, op: MetricOp) {
+    match op {
+        MetricOp::Count(key, n) => metrics.count(key, n),
+        MetricOp::CountNode(node, key, n) => metrics.count_node(node, key, n),
+        MetricOp::Record(key, v) => metrics.record(key, v),
+    }
+}
+
+/// The per-callback execution context handed to protocol code.
+///
+/// A context is a pure **step-output collector**: it owns the node's RNG
+/// stream for the duration of the step and buffers every side effect
+/// (sends, timers, metric updates) the callback emits. It borrows nothing
+/// from the [`Network`], so same-timestamp steps on different nodes can
+/// execute on different worker threads; the scheduler applies the
+/// collected output afterwards in canonical event order.
+pub struct Context<M> {
+    now: u64,
+    node: NodeId,
+    rng: StdRng,
+    effects: Vec<Effect<M>>,
+    ops: Vec<MetricOp>,
+}
+
+impl<M: Payload> Context<M> {
+    pub(crate) fn new(now: u64, node: NodeId, rng: StdRng) -> Context<M> {
+        Context {
+            now,
+            node,
+            rng,
+            effects: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Tears the context down into the RNG (handed back to the node's
+    /// slot) and the collected step output.
+    pub(crate) fn finish(self) -> (StdRng, Vec<Effect<M>>, Vec<MetricOp>) {
+        (self.rng, self.effects, self.ops)
+    }
+
     /// Current simulated time in milliseconds.
     pub fn now(&self) -> u64 {
         self.now
@@ -127,30 +184,77 @@ impl<'a, M: Payload> Context<'a, M> {
         self.effects.push(Effect::Timer { delay_ms, token });
     }
 
-    /// Deterministic RNG for protocol decisions.
+    /// Deterministic RNG for protocol decisions — this node's private
+    /// stream, split from the network seed (see
+    /// [`crate::scheduler::stream_seed`]), so draws are independent of
+    /// other nodes' activity and of the worker-thread count.
     pub fn rng(&mut self) -> &mut StdRng {
-        self.rng
+        &mut self.rng
     }
 
     /// Adds to a global counter.
-    pub fn count(&mut self, key: &str, n: u64) {
-        self.metrics.count(key, n);
+    pub fn count(&mut self, key: &'static str, n: u64) {
+        self.ops.push(MetricOp::Count(key, n));
     }
 
     /// Adds to this node's counter.
-    pub fn count_self(&mut self, key: &str, n: u64) {
-        self.metrics.count_node(self.node.0, key, n);
+    pub fn count_self(&mut self, key: &'static str, n: u64) {
+        self.ops
+            .push(MetricOp::CountNode(self.node.as_u64(), key, n));
     }
 
     /// Records a sample into a series.
-    pub fn record(&mut self, key: &str, value: f64) {
-        self.metrics.record(key, value);
+    pub fn record(&mut self, key: &'static str, value: f64) {
+        self.ops.push(MetricOp::Record(key, value));
     }
 
     /// Charges simulated CPU time (microseconds) to this node — the
     /// resource-restricted-device accounting used by E6/E9.
     pub fn charge_cpu(&mut self, micros: u64) {
-        self.metrics.count_node(self.node.0, "cpu_micros", micros);
+        self.ops.push(MetricOp::CountNode(
+            self.node.as_u64(),
+            "cpu_micros",
+            micros,
+        ));
+    }
+}
+
+/// Outcome of [`Network::run_to_quiescence`]: either the event queue
+/// actually drained, or the hard stop was hit with work still pending —
+/// a condition callers must not silently swallow (a scenario that never
+/// settles is a finding, not a footnote).
+#[must_use = "a HardStop outcome means the simulation did not settle; surface it"]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuiescenceOutcome {
+    /// The queue drained completely; `at_ms` is the time of the last
+    /// processed event.
+    Quiescent {
+        /// Simulated time of the final event, milliseconds.
+        at_ms: u64,
+    },
+    /// Events were still queued when the hard stop cut the run off.
+    HardStop {
+        /// The hard stop that ended the run, milliseconds.
+        hard_stop_ms: u64,
+        /// Events left in the queue (all scheduled after the hard stop).
+        pending_events: u64,
+        /// Timestamp of the earliest pending event, milliseconds.
+        next_event_at_ms: u64,
+    },
+}
+
+impl QuiescenceOutcome {
+    /// `true` when the queue drained before the hard stop.
+    pub fn is_quiescent(&self) -> bool {
+        matches!(self, QuiescenceOutcome::Quiescent { .. })
+    }
+
+    /// Events still queued when the run ended (0 when quiescent).
+    pub fn pending_events(&self) -> u64 {
+        match self {
+            QuiescenceOutcome::Quiescent { .. } => 0,
+            QuiescenceOutcome::HardStop { pending_events, .. } => *pending_events,
+        }
     }
 }
 
@@ -164,16 +268,16 @@ impl<'a, M: Payload> Context<'a, M> {
 /// struct Echo;
 /// impl Node for Echo {
 ///     type Message = Vec<u8>;
-///     fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+///     fn on_start(&mut self, ctx: &mut Context<Vec<u8>>) {
 ///         if ctx.node_id() == NodeId(0) {
 ///             ctx.send(NodeId(1), b"ping".to_vec());
 ///         }
 ///     }
-///     fn on_message(&mut self, ctx: &mut Context<'_, Vec<u8>>, from: NodeId, msg: Vec<u8>) {
+///     fn on_message(&mut self, ctx: &mut Context<Vec<u8>>, from: NodeId, msg: Vec<u8>) {
 ///         if msg == b"ping" { ctx.send(from, b"pong".to_vec()); }
 ///         else { ctx.count("pong", 1); }
 ///     }
-///     fn on_timer(&mut self, _: &mut Context<'_, Vec<u8>>, _: u64) {}
+///     fn on_timer(&mut self, _: &mut Context<Vec<u8>>, _: u64) {}
 /// }
 ///
 /// let mut net = Network::new(ConstantLatency(10), 42);
@@ -183,37 +287,42 @@ impl<'a, M: Payload> Context<'a, M> {
 /// assert_eq!(net.metrics().counter("pong"), 1);
 /// ```
 pub struct Network<N: Node> {
-    nodes: Vec<N>,
-    /// Liveness flag per node. `NodeId`s are stable indices, so removal
-    /// deactivates in place: a dead node keeps its slot (and its frozen
-    /// protocol state, inspectable post-mortem) but receives no further
-    /// events — queued deliveries and timers addressed to it are dropped
-    /// at dispatch instead of leaking into its state machine.
-    active: Vec<bool>,
-    queue: BinaryHeap<QueuedEvent<N::Message>>,
-    latency: Box<dyn LatencyModel>,
-    loss_probability: f64,
-    rng: StdRng,
-    now: u64,
-    seq: u64,
-    started: bool,
-    metrics: Metrics,
+    /// Per-node state (protocol machine + private RNG stream + liveness
+    /// flag), shard-partitionable for batch execution.
+    pub(crate) nodes: NodeStore<N>,
+    pub(crate) queue: BinaryHeap<QueuedEvent<N::Message>>,
+    pub(crate) latency: Box<dyn LatencyModel>,
+    pub(crate) loss_probability: f64,
+    /// The link stream: latency and loss draws. Consumed only while
+    /// merging step outputs (canonical order), never by node callbacks.
+    pub(crate) link_rng: StdRng,
+    pub(crate) seed: u64,
+    pub(crate) now: u64,
+    pub(crate) seq: u64,
+    pub(crate) started: bool,
+    pub(crate) metrics: Metrics,
+    pub(crate) threads: usize,
+    pub(crate) dispatched: u64,
+    pub(crate) parallel_rounds: u64,
 }
 
 impl<N: Node> Network<N> {
     /// Creates a network with the given latency model and RNG seed.
     pub fn new<L: LatencyModel + 'static>(latency: L, seed: u64) -> Network<N> {
         Network {
-            nodes: Vec::new(),
-            active: Vec::new(),
+            nodes: NodeStore::new(),
             queue: BinaryHeap::new(),
             latency: Box::new(latency),
             loss_probability: 0.0,
-            rng: StdRng::seed_from_u64(seed),
+            link_rng: StdRng::seed_from_u64(stream_seed(seed, LINK_STREAM)),
+            seed,
             now: 0,
             seq: 0,
             started: false,
             metrics: Metrics::new(),
+            threads: 1,
+            dispatched: 0,
+            parallel_rounds: 0,
         }
     }
 
@@ -223,18 +332,49 @@ impl<N: Node> Network<N> {
         self.loss_probability = p;
     }
 
+    /// Sets the worker-thread count for batch execution. `0` means
+    /// auto-detect (available parallelism). The simulation outcome is
+    /// byte-identical for every thread count — see the determinism
+    /// contract in `docs/ARCHITECTURE.md`. Without the `parallel`
+    /// feature the count is clamped to 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        let resolved = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        #[cfg(feature = "parallel")]
+        {
+            self.threads = resolved.max(1);
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            let _ = resolved;
+            self.threads = 1;
+        }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Upper bound on link delay, exposed for protocol parameterization
     /// (`Thr = D / T`).
     pub fn max_delay_ms(&self) -> u64 {
         self.latency.max_delay_ms()
     }
 
-    /// Adds a node, returning its id. Nodes added after the run started
-    /// get their `on_start` immediately (churn support).
+    /// Adds a node, returning its id. The node receives its own RNG
+    /// stream, split deterministically from the network seed by index.
+    /// Nodes added after the run started get their `on_start`
+    /// immediately (churn support).
     pub fn add_node(&mut self, node: N) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        self.nodes.push(node);
-        self.active.push(true);
+        let index = self.nodes.len();
+        let rng = StdRng::seed_from_u64(stream_seed(self.seed, index as u64));
+        let id = NodeId(self.nodes.push(node, rng));
         if self.started {
             let seq = self.next_seq();
             self.push(QueuedEvent {
@@ -262,7 +402,7 @@ impl<N: Node> Network<N> {
     ///
     /// Returns `false` when the node was already removed (idempotent).
     pub fn remove_node(&mut self, id: NodeId) -> bool {
-        let was_active = std::mem::replace(&mut self.active[id.0], false);
+        let was_active = self.nodes.deactivate(id.index());
         if was_active {
             self.metrics.count("nodes_removed", 1);
         }
@@ -271,12 +411,12 @@ impl<N: Node> Network<N> {
 
     /// Whether a node is still live (added and not removed).
     pub fn is_active(&self, id: NodeId) -> bool {
-        self.active.get(id.0).copied().unwrap_or(false)
+        self.nodes.is_active(id.index())
     }
 
     /// Number of live nodes (added minus removed).
     pub fn active_len(&self) -> usize {
-        self.active.iter().filter(|a| **a).count()
+        self.nodes.active_len()
     }
 
     /// Number of nodes ever added (including removed ones).
@@ -286,19 +426,54 @@ impl<N: Node> Network<N> {
 
     /// `true` when no nodes were added.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.nodes.len() == 0
     }
 
     /// Immutable access to a node's protocol state.
     pub fn node(&self, id: NodeId) -> &N {
-        &self.nodes[id.0]
+        self.nodes.node(id.index())
     }
 
     /// Mutable access to a node's protocol state (for external inspection
     /// or reconfiguration between runs — effects are not collected here;
     /// use [`Network::invoke`] for actions that need a context).
     pub fn node_mut(&mut self, id: NodeId) -> &mut N {
-        &mut self.nodes[id.0]
+        self.nodes.node_mut(id.index())
+    }
+
+    /// Applies `f` to every **live** node, fanning out over the
+    /// configured worker threads (shard-partitioned `&mut` access; the
+    /// scoped fork-join variant of the scheduler's batch execution).
+    ///
+    /// This is the bulk out-of-band state-sync path: harnesses that push
+    /// identical updates into every peer between event rounds (e.g. the
+    /// testbed's per-block membership-registration bursts — the dominant
+    /// 10k-node setup cost) use it instead of a serial `node_mut` loop.
+    ///
+    /// Determinism: `f` gets no context, RNG, metrics or effect channel —
+    /// it can only mutate the node it is handed — so as long as `f` is
+    /// deterministic per node, the outcome is independent of the thread
+    /// count and of the partition, like every other scheduler path.
+    pub fn for_each_node_par(&mut self, f: impl Fn(NodeId, &mut N) + Sync) {
+        let workers = self.threads.max(1);
+        let mut refs = self.nodes.active_nodes_mut();
+        if workers <= 1 || refs.len() < 2 {
+            for (index, node) in refs {
+                f(NodeId(index), node);
+            }
+            return;
+        }
+        let chunk_len = refs.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for chunk in refs.chunks_mut(chunk_len) {
+                scope.spawn(move || {
+                    for (index, node) in chunk.iter_mut() {
+                        f(NodeId(*index), node);
+                    }
+                });
+            }
+        });
     }
 
     /// Current simulated time in milliseconds.
@@ -316,24 +491,43 @@ impl<N: Node> Network<N> {
         &mut self.metrics
     }
 
+    /// Events dispatched to node callbacks so far (includes events
+    /// dropped at dead nodes; drives the `--progress` throughput line).
+    pub fn events_dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Events still waiting in the queue.
+    pub fn pending_events(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// Rounds that actually fanned out to worker threads (0 with
+    /// `threads = 1`, or when every round stayed under the inline
+    /// threshold). Diagnostic: lets benches and tests assert the
+    /// parallel path really executed rather than passing vacuously.
+    pub fn parallel_rounds(&self) -> u64 {
+        self.parallel_rounds
+    }
+
     /// Runs an external action against one node *now*, with a full effect
     /// context (e.g. "publish a message at t=5000").
     pub fn invoke<R>(
         &mut self,
         id: NodeId,
-        f: impl FnOnce(&mut N, &mut Context<'_, N::Message>) -> R,
+        f: impl FnOnce(&mut N, &mut Context<N::Message>) -> R,
     ) -> R {
         assert!(self.is_active(id), "invoke on removed node {id}");
         self.ensure_started();
-        let mut ctx = Context {
-            now: self.now,
-            node: id,
-            effects: Vec::new(),
-            rng: &mut self.rng,
-            metrics: &mut self.metrics,
-        };
-        let out = f(&mut self.nodes[id.0], &mut ctx);
-        let effects = ctx.effects;
+        let slot = self.nodes.slot_mut(id.index());
+        let rng = std::mem::replace(&mut slot.rng, StdRng::seed_from_u64(0));
+        let mut ctx = Context::new(self.now, id, rng);
+        let out = f(&mut slot.node, &mut ctx);
+        let (rng, effects, ops) = ctx.finish();
+        self.nodes.slot_mut(id.index()).rng = rng;
+        for op in ops {
+            apply_metric_op(&mut self.metrics, op);
+        }
         self.apply_effects(id, effects);
         out
     }
@@ -341,32 +535,27 @@ impl<N: Node> Network<N> {
     /// Processes events until simulated time `t` (inclusive). Events
     /// scheduled beyond `t` stay queued; the clock ends at `t`.
     pub fn run_until(&mut self, t: u64) {
-        self.ensure_started();
-        while let Some(head) = self.queue.peek() {
-            if head.at > t {
-                break;
-            }
-            let event = self.queue.pop().expect("peeked");
-            self.now = event.at;
-            self.dispatch(event);
-        }
+        self.run_batched(t);
         self.now = self.now.max(t);
     }
 
-    /// Runs until the event queue is empty (or `hard_stop` is reached).
-    pub fn run_to_quiescence(&mut self, hard_stop: u64) {
-        self.ensure_started();
-        while let Some(head) = self.queue.peek() {
-            if head.at > hard_stop {
-                break;
-            }
-            let event = self.queue.pop().expect("peeked");
-            self.now = event.at;
-            self.dispatch(event);
+    /// Runs until the event queue is empty (or `hard_stop` is reached),
+    /// reporting which of the two actually happened — callers decide
+    /// whether leftover events are expected (periodic protocol timers
+    /// re-arm forever) or a stall worth surfacing.
+    pub fn run_to_quiescence(&mut self, hard_stop: u64) -> QuiescenceOutcome {
+        self.run_batched(hard_stop);
+        match self.queue.peek() {
+            None => QuiescenceOutcome::Quiescent { at_ms: self.now },
+            Some(head) => QuiescenceOutcome::HardStop {
+                hard_stop_ms: hard_stop,
+                pending_events: self.queue.len() as u64,
+                next_event_at_ms: head.at,
+            },
         }
     }
 
-    fn ensure_started(&mut self) {
+    pub(crate) fn ensure_started(&mut self) {
         if !self.started {
             self.started = true;
             for i in 0..self.nodes.len() {
@@ -381,7 +570,7 @@ impl<N: Node> Network<N> {
         }
     }
 
-    fn next_seq(&mut self) -> u64 {
+    pub(crate) fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
     }
@@ -390,45 +579,20 @@ impl<N: Node> Network<N> {
         self.queue.push(ev);
     }
 
-    fn dispatch(&mut self, event: QueuedEvent<N::Message>) {
-        let id = event.node;
-        if !self.active[id.0] {
-            // the node died while this event was in flight
-            match event.kind {
-                EventKind::Deliver { .. } => self.metrics.count("messages_to_removed_peer", 1),
-                EventKind::Timer { .. } => self.metrics.count("timers_dropped_dead_node", 1),
-                EventKind::Start => {}
-            }
-            return;
-        }
-        let mut ctx = Context {
-            now: self.now,
-            node: id,
-            effects: Vec::new(),
-            rng: &mut self.rng,
-            metrics: &mut self.metrics,
-        };
-        match event.kind {
-            EventKind::Start => self.nodes[id.0].on_start(&mut ctx),
-            EventKind::Deliver { from, msg } => {
-                ctx.metrics.count("messages_delivered", 1);
-                self.nodes[id.0].on_message(&mut ctx, from, msg)
-            }
-            EventKind::Timer { token } => self.nodes[id.0].on_timer(&mut ctx, token),
-        }
-        let effects = ctx.effects;
-        self.apply_effects(id, effects);
-    }
-
-    fn apply_effects(&mut self, origin: NodeId, effects: Vec<Effect<N::Message>>) {
+    /// Applies one step's collected effects: sends sample the link
+    /// stream (loss, latency) and enqueue deliveries; timers re-enqueue
+    /// on the origin. Always called in canonical event order, which is
+    /// what keeps the link stream — and therefore the whole simulation —
+    /// independent of the worker-thread count.
+    pub(crate) fn apply_effects(&mut self, origin: NodeId, effects: Vec<Effect<N::Message>>) {
         for effect in effects {
             match effect {
                 Effect::Send { to, msg } => {
-                    if to.0 >= self.nodes.len() {
+                    if to.index() >= self.nodes.len() {
                         self.metrics.count("messages_to_unknown_peer", 1);
                         continue;
                     }
-                    if !self.active[to.0] {
+                    if !self.nodes.is_active(to.index()) {
                         // dead peers take no traffic (connection torn down)
                         self.metrics.count("messages_to_removed_peer", 1);
                         continue;
@@ -436,12 +600,13 @@ impl<N: Node> Network<N> {
                     self.metrics.count("messages_sent", 1);
                     let size = msg.size_bytes() as u64;
                     self.metrics.count("bytes_sent", size);
-                    self.metrics.add_node_bytes_sent(origin.0, size);
-                    if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
+                    self.metrics.add_node_bytes_sent(origin.as_u64(), size);
+                    if self.loss_probability > 0.0 && self.link_rng.gen_bool(self.loss_probability)
+                    {
                         self.metrics.count("messages_lost", 1);
                         continue;
                     }
-                    let latency = self.latency.sample(&mut self.rng, origin, to);
+                    let latency = self.latency.sample(&mut self.link_rng, origin, to);
                     let ev = QueuedEvent {
                         at: self.now + latency,
                         seq: self.next_seq(),
@@ -478,8 +643,8 @@ mod tests {
 
     impl Node for Flood {
         type Message = Vec<u8>;
-        fn on_start(&mut self, _ctx: &mut Context<'_, Vec<u8>>) {}
-        fn on_message(&mut self, ctx: &mut Context<'_, Vec<u8>>, _from: NodeId, msg: Vec<u8>) {
+        fn on_start(&mut self, _ctx: &mut Context<Vec<u8>>) {}
+        fn on_message(&mut self, ctx: &mut Context<Vec<u8>>, _from: NodeId, msg: Vec<u8>) {
             if !self.seen {
                 self.seen = true;
                 self.received_at = Some(ctx.now());
@@ -488,7 +653,7 @@ mod tests {
                 }
             }
         }
-        fn on_timer(&mut self, _: &mut Context<'_, Vec<u8>>, _: u64) {}
+        fn on_timer(&mut self, _: &mut Context<Vec<u8>>, _: u64) {}
     }
 
     fn ring(n: usize) -> Network<Flood> {
@@ -572,13 +737,13 @@ mod tests {
         }
         impl Node for TimerNode {
             type Message = Vec<u8>;
-            fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+            fn on_start(&mut self, ctx: &mut Context<Vec<u8>>) {
                 ctx.set_timer(30, 3);
                 ctx.set_timer(10, 1);
                 ctx.set_timer(20, 2);
             }
-            fn on_message(&mut self, _: &mut Context<'_, Vec<u8>>, _: NodeId, _: Vec<u8>) {}
-            fn on_timer(&mut self, ctx: &mut Context<'_, Vec<u8>>, token: u64) {
+            fn on_message(&mut self, _: &mut Context<Vec<u8>>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, ctx: &mut Context<Vec<u8>>, token: u64) {
                 assert_eq!(ctx.now() % 10, 0);
                 self.fired.push(token);
             }
@@ -619,13 +784,13 @@ mod tests {
         }
         impl Node for Beacon {
             type Message = Vec<u8>;
-            fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+            fn on_start(&mut self, ctx: &mut Context<Vec<u8>>) {
                 ctx.set_timer(10, 0);
             }
-            fn on_message(&mut self, _: &mut Context<'_, Vec<u8>>, _: NodeId, _: Vec<u8>) {
+            fn on_message(&mut self, _: &mut Context<Vec<u8>>, _: NodeId, _: Vec<u8>) {
                 self.received += 1;
             }
-            fn on_timer(&mut self, ctx: &mut Context<'_, Vec<u8>>, _: u64) {
+            fn on_timer(&mut self, ctx: &mut Context<Vec<u8>>, _: u64) {
                 self.heartbeats += 1;
                 ctx.set_timer(10, 0); // periodic: would leak forever if not dropped
             }
@@ -715,5 +880,47 @@ mod tests {
         net.invoke(NodeId(0), |_, ctx| ctx.send(id, b"m".to_vec()));
         net.run_until(200);
         assert!(net.node(id).seen);
+    }
+
+    #[test]
+    fn quiescence_reports_leftover_events() {
+        let mut net = ring(4);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.seen = true;
+            ctx.send(NodeId(1), b"m".to_vec());
+        });
+        // the flood settles well before 1000 ms: queue drains
+        let outcome = net.run_to_quiescence(1_000);
+        assert!(outcome.is_quiescent());
+        assert_eq!(outcome.pending_events(), 0);
+        assert_eq!(net.pending_events(), 0);
+
+        // an in-flight message past the hard stop must be reported
+        net.invoke(NodeId(2), |_, ctx| ctx.send(NodeId(3), b"late".to_vec()));
+        let now = net.now();
+        let outcome = net.run_to_quiescence(now); // delivery is now+10
+        match outcome {
+            QuiescenceOutcome::HardStop {
+                pending_events,
+                next_event_at_ms,
+                ..
+            } => {
+                assert_eq!(pending_events, 1);
+                assert_eq!(next_event_at_ms, now + 10);
+            }
+            QuiescenceOutcome::Quiescent { .. } => panic!("should have pending work"),
+        }
+    }
+
+    #[test]
+    fn dispatched_counter_tracks_events() {
+        let mut net = ring(4);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.seen = true;
+            ctx.send(NodeId(1), b"m".to_vec());
+        });
+        net.run_until(1_000);
+        // 4 starts + deliveries (flood over the ring)
+        assert!(net.events_dispatched() >= 5);
     }
 }

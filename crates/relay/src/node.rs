@@ -55,7 +55,7 @@ impl<V: Validator> WakuRelayNode<V> {
     }
 
     /// Publishes an anonymized message.
-    pub fn publish(&mut self, ctx: &mut Context<'_, Rpc>, message: &WakuMessage) -> MessageId {
+    pub fn publish(&mut self, ctx: &mut Context<Rpc>, message: &WakuMessage) -> MessageId {
         self.inner
             .publish(ctx, self.pubsub_topic.clone(), message.encode())
     }
@@ -99,15 +99,15 @@ impl<V: Validator> WakuRelayNode<V> {
 impl<V: Validator> Node for WakuRelayNode<V> {
     type Message = Rpc;
 
-    fn on_start(&mut self, ctx: &mut Context<'_, Rpc>) {
+    fn on_start(&mut self, ctx: &mut Context<Rpc>) {
         self.inner.on_start(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Rpc>, from: NodeId, msg: Rpc) {
+    fn on_message(&mut self, ctx: &mut Context<Rpc>, from: NodeId, msg: Rpc) {
         self.inner.on_message(ctx, from, msg);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, Rpc>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Context<Rpc>, token: u64) {
         self.inner.on_timer(ctx, token);
     }
 }

@@ -15,8 +15,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::time::Instant;
 use waku_rln_relay::{CostModel, Testbed, TestbedConfig};
-use wakurln_netsim::{topology, NodeId};
+use wakurln_netsim::{topology, NodeId, QuiescenceOutcome};
 
 /// A newly joined peer needs its registration mined, synced, and a mesh
 /// formed before it can be expected to receive traffic; publishes earlier
@@ -39,6 +40,22 @@ enum EventKind {
     Traffic(usize),
 }
 
+/// A progress snapshot emitted while a scenario advances (one per
+/// lock-step slice). Consumers decide the printing cadence; emitting a
+/// snapshot never influences the simulation, so progress-observed runs
+/// stay byte-identical to silent ones.
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Simulated time reached, milliseconds.
+    pub sim_ms: u64,
+    /// Total simulated time this run will cover, milliseconds.
+    pub total_ms: u64,
+    /// Events dispatched to node callbacks so far.
+    pub events_dispatched: u64,
+    /// Wall-clock time spent so far, milliseconds.
+    pub wall_ms: u64,
+}
+
 /// Runs a scenario to completion and reports.
 ///
 /// # Panics
@@ -49,10 +66,27 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
     run_scenario_detailed(spec).0
 }
 
+/// [`run_scenario`] with a progress observer: `observe` fires once per
+/// lock-step slice (see [`Progress`]) — the hook behind `simctl run
+/// --progress`, so hour-long 10k-node runs are not silent.
+pub fn run_scenario_with_progress(
+    spec: &ScenarioSpec,
+    mut observe: impl FnMut(&Progress),
+) -> ScenarioReport {
+    run_scenario_impl(spec, Some(&mut observe)).0
+}
+
 /// [`run_scenario`], additionally handing back the finished [`Testbed`]
 /// for assertions the report does not cover (ports of hand-wired tests
 /// use this to keep their original fine-grained checks).
 pub fn run_scenario_detailed(spec: &ScenarioSpec) -> (ScenarioReport, Testbed) {
+    run_scenario_impl(spec, None)
+}
+
+fn run_scenario_impl(
+    spec: &ScenarioSpec,
+    mut observe: Option<&mut dyn FnMut(&Progress)>,
+) -> (ScenarioReport, Testbed) {
     spec.validate();
     let depth = spec.effective_tree_depth();
     let honest = spec.honest;
@@ -76,6 +110,7 @@ pub fn run_scenario_detailed(spec: &ScenarioSpec) -> (ScenarioReport, Testbed) {
         seed: spec.seed,
         latency_ms: (latency_min, latency_max),
         pipeline: spec.pipeline,
+        threads: spec.threads,
         ..TestbedConfig::default()
     };
 
@@ -110,6 +145,26 @@ pub fn run_scenario_detailed(spec: &ScenarioSpec) -> (ScenarioReport, Testbed) {
     events.sort();
 
     // run it
+    let started_wall = Instant::now();
+    let end_ms = spec.duration_ms();
+    let advance =
+        |tb: &mut Testbed, to_ms: u64, observe: &mut Option<&mut dyn FnMut(&Progress)>| {
+            // slice at the engine level so a progress observer sees every
+            // lock-step boundary; tb.run slices identically internally, so
+            // the world evolves the same with or without an observer
+            while tb.net.now() < to_ms {
+                let next = (tb.net.now() + spec.slice_ms).min(to_ms);
+                tb.run(next - tb.net.now(), spec.slice_ms);
+                if let Some(observe) = observe.as_deref_mut() {
+                    observe(&Progress {
+                        sim_ms: tb.net.now(),
+                        total_ms: end_ms,
+                        events_dispatched: tb.net.events_dispatched(),
+                        wall_ms: started_wall.elapsed().as_millis() as u64,
+                    });
+                }
+            }
+        };
     let mut publishes: Vec<PublishRecord> = Vec::new();
     let mut spam_payloads: Vec<(usize, Vec<u8>, u64)> = Vec::new();
     let mut honest_publish_failures = 0u64;
@@ -121,9 +176,8 @@ pub fn run_scenario_detailed(spec: &ScenarioSpec) -> (ScenarioReport, Testbed) {
     let mut joined_at: Vec<u64> = vec![0; n_initial];
 
     for (at_ms, kind) in events {
-        let now = tb.net.now();
-        if at_ms > now {
-            tb.run(at_ms - now, spec.slice_ms);
+        if at_ms > tb.net.now() {
+            advance(&mut tb, at_ms, &mut observe);
         }
         match kind {
             EventKind::Churn(i) => match spec.churn[i].action {
@@ -183,11 +237,18 @@ pub fn run_scenario_detailed(spec: &ScenarioSpec) -> (ScenarioReport, Testbed) {
             }
         }
     }
-    let end_ms = spec.duration_ms();
-    let now = tb.net.now();
-    if end_ms > now {
-        tb.run(end_ms - now, spec.slice_ms);
+    if end_ms > tb.net.now() {
+        advance(&mut tb, end_ms, &mut observe);
     }
+    // classify the drain: did the network actually settle, or did the
+    // hard stop cut it off with work still queued? (Live meshes keep
+    // heartbeat timers armed forever, so pending > 0 is the norm — the
+    // report records it instead of swallowing it.)
+    let drain = tb.run_to_quiescence(end_ms, spec.slice_ms);
+    let (drain_quiescent, drain_pending_events) = match drain {
+        QuiescenceOutcome::Quiescent { .. } => (true, 0),
+        QuiescenceOutcome::HardStop { pending_events, .. } => (false, pending_events),
+    };
 
     // distill
     let n_total = tb.peer_count();
@@ -285,10 +346,10 @@ pub fn run_scenario_detailed(spec: &ScenarioSpec) -> (ScenarioReport, Testbed) {
             nullifier_live += 1;
             tree_max = tree_max.max(node.membership_storage_bytes() as u64);
         }
-        let b = tb.net.metrics().node_bytes_sent(i);
+        let b = tb.net.metrics().node_bytes_sent(i as u64);
         bytes_max = bytes_max.max(b);
         bytes_sum += b;
-        let c = tb.net.metrics().node_counter(i, "cpu_micros");
+        let c = tb.net.metrics().node_counter(i as u64, "cpu_micros");
         cpu_max = cpu_max.max(c);
         cpu_sum += c;
     }
@@ -335,6 +396,8 @@ pub fn run_scenario_detailed(spec: &ScenarioSpec) -> (ScenarioReport, Testbed) {
         nullifier_map_max_bytes: nullifier_max,
         nullifier_map_mean_bytes: nullifier_sum as f64 / nullifier_live.max(1) as f64,
         membership_tree_max_bytes: tree_max,
+        drain_quiescent,
+        drain_pending_events,
         eclipse_victim_delivery_rate: spec
             .eclipse
             .map(|_| victim_delivered as f64 / victim_pairs.max(1) as f64),

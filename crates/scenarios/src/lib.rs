@@ -47,7 +47,7 @@ pub mod library;
 pub mod report;
 pub mod spec;
 
-pub use engine::{run_scenario, run_scenario_detailed};
+pub use engine::{run_scenario, run_scenario_detailed, run_scenario_with_progress, Progress};
 pub use library::{builtin, BUILTIN_NAMES};
 pub use report::ScenarioReport;
 pub use spec::{

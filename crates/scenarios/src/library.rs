@@ -1,7 +1,7 @@
 //! The built-in scenario library.
 //!
-//! Seven canonical workloads, each parameterized by network size and seed
-//! so the same scenario runs at 8 peers in a unit test and at 1000–2000
+//! Eight canonical workloads, each parameterized by network size and seed
+//! so the same scenario runs at 8 peers in a unit test and at 1000–10000
 //! peers under `simctl`. Attack intensity and traffic volume scale with
 //! the population. See `docs/SCENARIOS.md` for what each scenario
 //! stresses and which paper claim it exercises.
@@ -12,7 +12,7 @@ use crate::spec::{
 use waku_rln_relay::{EpochScheme, PipelineConfig};
 
 /// Names of all built-in scenarios, in canonical order.
-pub const BUILTIN_NAMES: [&str; 7] = [
+pub const BUILTIN_NAMES: [&str; 8] = [
     "baseline",
     "spam_burst",
     "targeted_eclipse",
@@ -20,6 +20,7 @@ pub const BUILTIN_NAMES: [&str; 7] = [
     "mass_churn",
     "epoch_boundary_race",
     "high_throughput",
+    "massive_population",
 ];
 
 /// Builds a built-in scenario by name, sized to `nodes` honest peers.
@@ -33,6 +34,7 @@ pub fn builtin(name: &str, nodes: usize, seed: u64) -> Option<ScenarioSpec> {
         "mass_churn" => mass_churn(nodes, seed),
         "epoch_boundary_race" => epoch_boundary_race(nodes, seed),
         "high_throughput" => high_throughput(nodes, seed),
+        "massive_population" => massive_population(nodes, seed),
         _ => return None,
     };
     Some(spec)
@@ -199,6 +201,29 @@ pub fn high_throughput(nodes: usize, seed: u64) -> ScenarioSpec {
     spec
 }
 
+/// The scale workload: an order of magnitude beyond the other built-ins
+/// (run it at 10,000+ nodes: `simctl run massive_population --nodes
+/// 10000`). Both gossip-privacy papers in `PAPERS.md` state their
+/// guarantees as asymptotics in network size, so empirical
+/// delivery/containment numbers only start meaning something here.
+/// Traffic is sized per capita (publisher pool grows with the
+/// population, per-node load stays flat) and the scheduler runs with
+/// auto-detected worker threads — reports stay byte-identical for any
+/// thread count, so scale costs cores, not reproducibility.
+pub fn massive_population(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "massive_population".to_string();
+    spec.traffic = TrafficSpec {
+        publishers: (nodes / 200).clamp(2, 100),
+        rounds: 2,
+        start_ms: 10_000,
+        interval_ms: 12_000,
+    };
+    spec.threads = 0; // auto-detect: the 10k runs want every core
+    spec.drain_ms = 30_000;
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +237,13 @@ mod tests {
                 spec.validate();
             }
         }
+    }
+
+    #[test]
+    fn massive_population_scales_publishers_per_capita() {
+        assert_eq!(massive_population(10_000, 1).traffic.publishers, 50);
+        assert_eq!(massive_population(100, 1).traffic.publishers, 2);
+        assert_eq!(massive_population(10_000, 1).threads, 0);
     }
 
     #[test]

@@ -109,9 +109,134 @@ pub struct ScenarioReport {
     /// Largest light membership tree across live peers, bytes (E3).
     pub membership_tree_max_bytes: u64,
 
+    /// Whether the event queue actually drained by the end of the run
+    /// (`false` is the norm for live meshes: heartbeat timers re-arm
+    /// forever — see `drain_pending_events` for how much was left).
+    pub drain_quiescent: bool,
+    /// Events still queued when the run's hard stop cut it off (0 when
+    /// `drain_quiescent`).
+    pub drain_pending_events: u64,
+
     /// Delivery rate seen by the eclipse victim alone (`null` when the
     /// scenario has no eclipse attack).
     pub eclipse_victim_delivery_rate: Option<f64>,
+}
+
+/// One parsed value of the flat report schema.
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    String(String),
+    /// Kept as the raw token so integers round-trip exactly (no float
+    /// detour for u64 fields).
+    Number(String),
+    Bool(bool),
+    Null,
+}
+
+/// Parses a single flat JSON object (`{"key": scalar, ...}`) — exactly
+/// the shape [`ScenarioReport::to_json`] emits. Nested containers are
+/// rejected.
+fn parse_flat_object(json: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = json.chars().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    };
+    let parse_string =
+        |chars: &mut std::iter::Peekable<std::str::Chars>| -> Result<String, String> {
+            if chars.next() != Some('"') {
+                return Err("expected opening quote".to_string());
+            }
+            let mut out = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err("unterminated string".to_string()),
+                    Some('"') => return Ok(out),
+                    Some('\\') => match chars.next() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('u') => {
+                            let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape: {hex}"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad code point {code}"))?,
+                            );
+                        }
+                        other => return Err(format!("bad escape: {other:?}")),
+                    },
+                    Some(c) => out.push(c),
+                }
+            }
+        };
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{'".to_string());
+    }
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    let mut open = chars.peek() != Some(&'}');
+    if !open {
+        chars.next(); // empty object
+    }
+    while open {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key}"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::String(parse_string(&mut chars)?),
+            Some('t') | Some('f') | Some('n') => {
+                let word: String = std::iter::from_fn(|| {
+                    matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic())
+                        .then(|| chars.next())
+                        .flatten()
+                })
+                .collect();
+                match word.as_str() {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    "null" => JsonValue::Null,
+                    other => return Err(format!("unexpected token: {other}")),
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let raw: String = std::iter::from_fn(|| {
+                    matches!(chars.peek(), Some(c) if c.is_ascii_digit()
+                        || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                    .then(|| chars.next())
+                    .flatten()
+                })
+                .collect();
+                JsonValue::Number(raw)
+            }
+            other => return Err(format!("unexpected value start: {other:?}")),
+        };
+        fields.push((key, value));
+        // strict separators: exactly one ',' between fields, '}' to
+        // close — a missing comma, a trailing comma or anything else is
+        // a malformed report, not something to paper over
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => {}
+            Some('}') => open = false,
+            other => return Err(format!("expected ',' or '}}' after a field, got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some(c) = chars.next() {
+        return Err(format!("trailing content after the closing brace: {c:?}"));
+    }
+    Ok(fields)
 }
 
 /// Escapes a string for embedding in a JSON string literal (scenario
@@ -228,6 +353,11 @@ impl ScenarioReport {
             "membership_tree_max_bytes",
             self.membership_tree_max_bytes.to_string(),
         );
+        field("drain_quiescent", self.drain_quiescent.to_string());
+        field(
+            "drain_pending_events",
+            self.drain_pending_events.to_string(),
+        );
         field(
             "eclipse_victim_delivery_rate",
             json_opt(self.eclipse_victim_delivery_rate),
@@ -235,6 +365,107 @@ impl ScenarioReport {
         let _ = &mut field;
         out.push_str("\n}\n");
         out
+    }
+
+    /// Parses a report back from the JSON emitted by
+    /// [`ScenarioReport::to_json`] — the inverse direction CI diffing and
+    /// sweep tooling use. Only the flat schema this crate emits is
+    /// supported (string / integer / float / bool / `null` values).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct or missing
+    /// field.
+    pub fn from_json(json: &str) -> Result<ScenarioReport, String> {
+        let fields = parse_flat_object(json)?;
+        let get = |key: &str| -> Result<&JsonValue, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field: {key}"))
+        };
+        let get_u64 = |key: &str| -> Result<u64, String> {
+            match get(key)? {
+                JsonValue::Number(raw) => raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("field {key}: expected u64, got {raw}")),
+                other => Err(format!("field {key}: expected u64, got {other:?}")),
+            }
+        };
+        let get_f64 = |key: &str| -> Result<f64, String> {
+            match get(key)? {
+                JsonValue::Number(raw) => raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("field {key}: expected f64, got {raw}")),
+                other => Err(format!("field {key}: expected f64, got {other:?}")),
+            }
+        };
+        let get_opt_f64 = |key: &str| -> Result<Option<f64>, String> {
+            match get(key)? {
+                JsonValue::Null => Ok(None),
+                JsonValue::Number(raw) => raw
+                    .parse::<f64>()
+                    .map(Some)
+                    .map_err(|_| format!("field {key}: expected f64, got {raw}")),
+                other => Err(format!("field {key}: expected f64 or null, got {other:?}")),
+            }
+        };
+        let get_bool = |key: &str| -> Result<bool, String> {
+            match get(key)? {
+                JsonValue::Bool(b) => Ok(*b),
+                other => Err(format!("field {key}: expected bool, got {other:?}")),
+            }
+        };
+        let scenario = match get("scenario")? {
+            JsonValue::String(s) => s.clone(),
+            other => return Err(format!("field scenario: expected string, got {other:?}")),
+        };
+        Ok(ScenarioReport {
+            scenario,
+            seed: get_u64("seed")?,
+            peers_initial: get_u64("peers_initial")?,
+            peers_final_live: get_u64("peers_final_live")?,
+            honest: get_u64("honest")?,
+            spammers: get_u64("spammers")?,
+            eclipse_attackers: get_u64("eclipse_attackers")?,
+            duration_ms: get_u64("duration_ms")?,
+            tree_depth: get_u64("tree_depth")?,
+            honest_published: get_u64("honest_published")?,
+            honest_publish_failures: get_u64("honest_publish_failures")?,
+            delivery_rate: get_f64("delivery_rate")?,
+            propagation_p50_ms: get_opt_f64("propagation_p50_ms")?,
+            propagation_p99_ms: get_opt_f64("propagation_p99_ms")?,
+            propagation_max_ms: get_opt_f64("propagation_max_ms")?,
+            spam_attempted: get_u64("spam_attempted")?,
+            spam_send_failures: get_u64("spam_send_failures")?,
+            spam_delivered_majority: get_u64("spam_delivered_majority")?,
+            spam_detections: get_u64("spam_detections")?,
+            spammers_slashed: get_u64("spammers_slashed")?,
+            members_start: get_u64("members_start")?,
+            members_end: get_u64("members_end")?,
+            peers_crashed: get_u64("peers_crashed")?,
+            peers_joined: get_u64("peers_joined")?,
+            messages_sent: get_u64("messages_sent")?,
+            messages_delivered: get_u64("messages_delivered")?,
+            messages_to_removed_peer: get_u64("messages_to_removed_peer")?,
+            bytes_sent: get_u64("bytes_sent")?,
+            bytes_sent_mean_per_node: get_f64("bytes_sent_mean_per_node")?,
+            bytes_sent_max_node: get_u64("bytes_sent_max_node")?,
+            cpu_micros_mean_per_node: get_f64("cpu_micros_mean_per_node")?,
+            cpu_micros_max_node: get_u64("cpu_micros_max_node")?,
+            valid_total: get_u64("valid_total")?,
+            invalid_proof_total: get_u64("invalid_proof_total")?,
+            epoch_out_of_window_total: get_u64("epoch_out_of_window_total")?,
+            duplicates_total: get_u64("duplicates_total")?,
+            malformed_total: get_u64("malformed_total")?,
+            nullifier_map_max_bytes: get_u64("nullifier_map_max_bytes")?,
+            nullifier_map_mean_bytes: get_f64("nullifier_map_mean_bytes")?,
+            membership_tree_max_bytes: get_u64("membership_tree_max_bytes")?,
+            drain_quiescent: get_bool("drain_quiescent")?,
+            drain_pending_events: get_u64("drain_pending_events")?,
+            eclipse_victim_delivery_rate: get_opt_f64("eclipse_victim_delivery_rate")?,
+        })
     }
 
     /// One human line for progress output (stderr; the JSON goes to
@@ -303,6 +534,8 @@ mod tests {
             nullifier_map_max_bytes: 640,
             nullifier_map_mean_bytes: 320.0,
             membership_tree_max_bytes: 1300,
+            drain_quiescent: false,
+            drain_pending_events: 42,
             eclipse_victim_delivery_rate: None,
         }
     }
@@ -331,6 +564,73 @@ mod tests {
         report.scenario = "my\"run\\with\nweird chars".to_string();
         let json = report.to_json();
         assert!(json.contains("\"scenario\": \"my\\\"run\\\\with\\nweird chars\""));
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let report = dummy();
+        let json = report.to_json();
+        let parsed = ScenarioReport::from_json(&json).expect("parses");
+        // byte-identical re-serialization is the contract CI diffing
+        // relies on (float formatting is fixed-point, so struct equality
+        // would be weaker than this)
+        assert_eq!(parsed.to_json(), json);
+        assert_eq!(parsed.scenario, "t");
+        assert_eq!(parsed.drain_pending_events, 42);
+        assert!(!parsed.drain_quiescent);
+        assert_eq!(parsed.propagation_max_ms, None);
+
+        let mut weird = dummy();
+        weird.scenario = "we\"ird\nname".to_string();
+        weird.propagation_p50_ms = None;
+        weird.eclipse_victim_delivery_rate = Some(0.25);
+        let json = weird.to_json();
+        let parsed = ScenarioReport::from_json(&json).expect("parses escaped");
+        assert_eq!(parsed.to_json(), json);
+        assert_eq!(parsed.scenario, weird.scenario);
+    }
+
+    #[test]
+    fn from_json_reports_missing_and_malformed_fields() {
+        assert!(ScenarioReport::from_json("{}")
+            .unwrap_err()
+            .contains("missing field"));
+        assert!(ScenarioReport::from_json("not json").is_err());
+        let truncated = dummy().to_json().replace("\"seed\": 1", "\"seed\": true");
+        assert!(ScenarioReport::from_json(&truncated)
+            .unwrap_err()
+            .contains("seed"));
+    }
+
+    #[test]
+    fn from_json_rejects_sloppy_separators_and_trailing_garbage() {
+        // missing comma between fields
+        assert!(ScenarioReport::from_json("{\"a\": 1 \"b\": 2}")
+            .unwrap_err()
+            .contains("expected ','"));
+        // trailing comma before the closing brace
+        assert!(ScenarioReport::from_json("{\"a\": 1,}").is_err());
+        // trailing garbage after a full, otherwise-valid report
+        let mut json = dummy().to_json();
+        json.push_str("garbage");
+        assert!(ScenarioReport::from_json(&json)
+            .unwrap_err()
+            .contains("trailing content"));
+        // whitespace after the brace stays fine
+        let json = dummy().to_json();
+        assert!(ScenarioReport::from_json(&format!("{json}\n  \n")).is_ok());
+    }
+
+    #[test]
+    fn u64_fields_round_trip_at_full_width() {
+        // wire stability: counters near u64::MAX survive the JSON detour
+        // without a float detour truncating them
+        let mut report = dummy();
+        report.bytes_sent = u64::MAX - 1;
+        report.messages_sent = u64::MAX;
+        let parsed = ScenarioReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed.bytes_sent, u64::MAX - 1);
+        assert_eq!(parsed.messages_sent, u64::MAX);
     }
 
     #[test]

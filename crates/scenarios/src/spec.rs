@@ -163,6 +163,11 @@ pub struct ScenarioSpec {
     /// per-message validator — the pre-pipeline behaviour, byte-identical
     /// reports included.
     pub pipeline: Option<PipelineConfig>,
+    /// Worker threads for the sharded event scheduler (`0` = auto-detect
+    /// from available parallelism). **Not part of the simulated world**:
+    /// the scheduler guarantees byte-identical reports for every thread
+    /// count, so this only trades wall-clock time for cores.
+    pub threads: usize,
     /// Cool-down after the last scheduled event, milliseconds — time for
     /// gossip recovery, detection, slashing and sync to play out.
     pub drain_ms: u64,
@@ -200,6 +205,7 @@ impl ScenarioSpec {
             eclipse: None,
             devices: Vec::new(),
             pipeline: None,
+            threads: 1,
             drain_ms: 40_000,
             slice_ms: 1_000,
         }

@@ -1,0 +1,89 @@
+//! Integration: the sharded scheduler's determinism contract.
+//!
+//! `tests/scenario_determinism.rs` holds the engine to "same spec + seed
+//! ⇒ byte-identical report". This suite holds the **scheduler** to the
+//! stronger clause added with the batch → shard → merge refactor: the
+//! worker-thread count is *not* part of the simulated world. For every
+//! built-in scenario, `threads = 1` and `threads = 8` must serialize to
+//! the same `ScenarioReport` bytes — per-node RNG streams are split from
+//! the seed by node index (never by shard), and step outputs merge in
+//! canonical event order regardless of which thread produced them.
+//!
+//! Runs are sized down so the whole matrix stays fast in debug builds;
+//! `simctl run <scenario> --threads N` exercises the same code path at
+//! 1000–10000 nodes (and CI diffs 1000-node reports byte-for-byte).
+
+use waku_rln::scenarios::{builtin, run_scenario, ScenarioSpec, BUILTIN_NAMES};
+
+use proptest::prelude::*;
+
+/// Thins a spec so debug-mode proof generation stays cheap without
+/// changing what the scenario exercises.
+fn thin(mut spec: ScenarioSpec, threads: usize) -> ScenarioSpec {
+    spec.traffic.publishers = spec.traffic.publishers.min(2);
+    spec.traffic.rounds = spec.traffic.rounds.min(2);
+    spec.threads = threads;
+    spec
+}
+
+fn report_json(name: &str, nodes: usize, seed: u64, threads: usize) -> String {
+    let spec = thin(builtin(name, nodes, seed).expect("known builtin"), threads);
+    run_scenario(&spec).to_json()
+}
+
+/// Every built-in × 3 seeds: threads=1 and threads=8 must agree byte for
+/// byte (and the run must have simulated something).
+#[test]
+fn all_builtins_are_thread_count_invariant() {
+    for name in BUILTIN_NAMES {
+        // mass_churn needs a few more peers so crash draws leave a mesh
+        let nodes = if name == "mass_churn" { 20 } else { 14 };
+        for seed in [11u64, 12, 13] {
+            let serial = report_json(name, nodes, seed, 1);
+            let sharded = report_json(name, nodes, seed, 8);
+            assert_eq!(
+                serial, sharded,
+                "{name} (seed {seed}): threads=8 diverged from threads=1"
+            );
+            assert!(serial.contains("\"messages_sent\""));
+        }
+    }
+}
+
+/// Non-vacuity under the full RLN stack: the matrix above sizes runs
+/// down, so most of them stay under the inline threshold and never
+/// touch the worker pool (netsim's own unit tests cover pool
+/// determinism on a toy node). This case drives the *complete*
+/// peer — gossip, RLN validation, chain sync — through rounds big
+/// enough that the pool must engage, asserts that it did, and still
+/// demands byte-identical bytes against the inline run.
+#[test]
+fn worker_pool_engages_under_the_full_stack_and_stays_byte_identical() {
+    let spec_for = |threads: usize| {
+        let mut spec = builtin("high_throughput", 32, 44).expect("known builtin");
+        spec.threads = threads;
+        spec
+    };
+    let (serial_report, serial_tb) = waku_rln::scenarios::run_scenario_detailed(&spec_for(1));
+    assert_eq!(serial_tb.net.parallel_rounds(), 0);
+    let (sharded_report, sharded_tb) = waku_rln::scenarios::run_scenario_detailed(&spec_for(8));
+    assert!(
+        sharded_tb.net.parallel_rounds() > 0,
+        "pool never engaged: rounds stayed under the inline threshold and \
+         this test would be vacuous"
+    );
+    assert_eq!(serial_report.to_json(), sharded_report.to_json());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Property form over random seeds and intermediate thread counts:
+    /// any two thread counts agree, not just the 1-vs-8 endpoints.
+    #[test]
+    fn random_seeds_and_thread_counts_agree(seed in 1u64..10_000, threads_a in 2usize..7) {
+        let reference = report_json("spam_burst", 14, seed, 1);
+        let other = report_json("spam_burst", 14, seed, threads_a);
+        prop_assert_eq!(reference, other);
+    }
+}
