@@ -3,14 +3,23 @@
 //! ```text
 //! simctl list
 //! simctl run <scenario> [--nodes N] [--seed S] [--threads T] [--progress]
-//!                       [--spam-rate PCT] [--churn-rate PCT] [--out PATH]
+//!                       [--spam-rate PCT] [--churn-rate PCT]
+//!                       [--adversary-fraction PCT] [--publish-jitter MS]
+//!                       [--out PATH]
 //! simctl sweep <scenario> --nodes N1,N2,.. [--seeds S1,S2,..] [--threads T]
-//!                         [--spam-rate PCT] [--churn-rate PCT] [--out PATH]
+//!                         [--spam-rate PCT] [--churn-rate PCT]
+//!                         [--adversary-fraction PCT1,PCT2,..]
+//!                         [--publish-jitter MS] [--out PATH]
 //! ```
 //!
 //! `run` executes one built-in scenario (default 1000 nodes, seed 2022)
 //! and prints its `ScenarioReport` JSON to stdout; `sweep` runs the
-//! cartesian product of node counts and seeds and prints a JSON array.
+//! cartesian product of node counts, seeds and (when given) adversary
+//! fractions, and prints a JSON array. `--adversary-fraction` sets the
+//! colluding passive-observer share of the honest population (percent;
+//! 0 disables surveillance) and `--publish-jitter` the publisher-side
+//! first-hop forward-delay countermeasure — together they trace the
+//! privacy/latency trade-off curve of the `anonymity_*` report section.
 //! `--threads` sets the sharded scheduler's worker count (0 =
 //! auto-detect; any value yields byte-identical reports), and
 //! `--progress` prints per-simulated-second throughput to stderr so long
@@ -18,15 +27,19 @@
 
 use wakurln_scenarios::{
     builtin, run_scenario, run_scenario_with_progress, ChurnAction, ChurnEvent, Progress,
-    ScenarioSpec, SpamSpec, BUILTIN_NAMES,
+    ScenarioSpec, SpamSpec, SurveillanceSpec, BUILTIN_NAMES,
 };
 
 fn usage() -> ! {
     eprintln!("usage: simctl list");
     eprintln!("       simctl run <scenario> [--nodes N] [--seed S] [--threads T] [--progress]");
-    eprintln!("                             [--spam-rate PCT] [--churn-rate PCT] [--out PATH]");
+    eprintln!("                             [--spam-rate PCT] [--churn-rate PCT]");
+    eprintln!("                             [--adversary-fraction PCT] [--publish-jitter MS]");
+    eprintln!("                             [--out PATH]");
     eprintln!("       simctl sweep <scenario> --nodes N1,N2,.. [--seeds S1,S2,..] [--threads T]");
-    eprintln!("                               [--spam-rate PCT] [--churn-rate PCT] [--out PATH]");
+    eprintln!("                               [--spam-rate PCT] [--churn-rate PCT]");
+    eprintln!("                               [--adversary-fraction PCT1,PCT2,..]");
+    eprintln!("                               [--publish-jitter MS] [--out PATH]");
     eprintln!("scenarios: {}", BUILTIN_NAMES.join(", "));
     std::process::exit(2)
 }
@@ -43,11 +56,17 @@ struct Overrides {
     /// Scheduler worker threads (0 = auto). Purely a wall-clock knob:
     /// reports are byte-identical for every value.
     threads: Option<usize>,
+    /// Publisher-side first-hop forward-delay countermeasure,
+    /// milliseconds (0 disables).
+    publish_jitter_ms: Option<u64>,
 }
 
 fn apply_overrides(spec: &mut ScenarioSpec, overrides: &Overrides) {
     if let Some(threads) = overrides.threads {
         spec.threads = threads;
+    }
+    if let Some(jitter) = overrides.publish_jitter_ms {
+        spec.publish_jitter_ms = jitter;
     }
     // rate 0 means "no attack" — the control row of a sweep — not "one
     // attacker"; only positive rates round up to at least one
@@ -78,13 +97,30 @@ fn apply_overrides(spec: &mut ScenarioSpec, overrides: &Overrides) {
     }
 }
 
-fn build_spec(name: &str, nodes: usize, seed: u64, overrides: &Overrides) -> ScenarioSpec {
+fn build_spec(
+    name: &str,
+    nodes: usize,
+    seed: u64,
+    adversary_fraction_pct: Option<f64>,
+    overrides: &Overrides,
+) -> ScenarioSpec {
     let Some(mut spec) = builtin(name, nodes, seed) else {
         eprintln!("unknown scenario: {name}");
         eprintln!("scenarios: {}", BUILTIN_NAMES.join(", "));
         std::process::exit(2);
     };
     apply_overrides(&mut spec, overrides);
+    // swept axis: the colluding passive-observer share (percent). 0 is
+    // the no-surveillance control row, mirroring --spam-rate semantics.
+    if let Some(pct) = adversary_fraction_pct {
+        if pct <= 0.0 {
+            spec.surveillance = None;
+        } else {
+            spec.surveillance = Some(SurveillanceSpec {
+                observer_fraction: pct / 100.0,
+            });
+        }
+    }
     // an impossible flag combination (e.g. --nodes 1) is a usage error,
     // not a crash: map the spec validation panic to the exit-2 contract
     let default_hook = std::panic::take_hook();
@@ -109,6 +145,17 @@ fn parse_list(value: &str, what: &str) -> Vec<u64> {
         Some(v) if !v.is_empty() => v,
         _ => {
             eprintln!("{what} needs a comma-separated integer list, got: {value}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_f64_list(value: &str, what: &str) -> Vec<f64> {
+    let parsed: Option<Vec<f64>> = value.split(',').map(|v| v.trim().parse().ok()).collect();
+    match parsed {
+        Some(v) if !v.is_empty() => v,
+        _ => {
+            eprintln!("{what} needs a comma-separated number list, got: {value}");
             std::process::exit(2);
         }
     }
@@ -183,6 +230,8 @@ fn main() {
 
     let mut nodes: Vec<u64> = vec![1000];
     let mut seeds: Vec<u64> = vec![2022];
+    // None = keep the scenario's own surveillance block
+    let mut adversary_fractions: Vec<Option<f64>> = vec![None];
     let mut overrides = Overrides::default();
     let mut out_path: Option<String> = None;
     let mut progress = false;
@@ -216,6 +265,22 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--adversary-fraction" => {
+                adversary_fractions = parse_f64_list(
+                    &value("--adversary-fraction"),
+                    "--adversary-fraction (percent)",
+                )
+                .into_iter()
+                .map(Some)
+                .collect();
+            }
+            "--publish-jitter" => {
+                overrides.publish_jitter_ms =
+                    Some(value("--publish-jitter").parse().unwrap_or_else(|_| {
+                        eprintln!("--publish-jitter needs an integer (milliseconds)");
+                        std::process::exit(2);
+                    }))
+            }
             "--progress" => progress = true,
             "--out" => out_path = Some(value("--out")),
             other => {
@@ -226,11 +291,20 @@ fn main() {
     }
 
     if command == "run" {
-        if nodes.len() != 1 || seeds.len() != 1 {
-            eprintln!("`run` takes a single node count and seed; use `sweep` for lists");
+        if nodes.len() != 1 || seeds.len() != 1 || adversary_fractions.len() != 1 {
+            eprintln!(
+                "`run` takes a single node count, seed and adversary fraction; \
+                 use `sweep` for lists"
+            );
             std::process::exit(2);
         }
-        let spec = build_spec(scenario, nodes[0] as usize, seeds[0], &overrides);
+        let spec = build_spec(
+            scenario,
+            nodes[0] as usize,
+            seeds[0],
+            adversary_fractions[0],
+            &overrides,
+        );
         eprintln!(
             "running {scenario}: {} peers, seed {}, {} ms simulated...",
             spec.initial_peers(),
@@ -243,21 +317,29 @@ fn main() {
         return;
     }
 
-    // sweep: cartesian product of node counts and seeds
-    let total = nodes.len() * seeds.len();
+    // sweep: cartesian product of node counts, seeds and adversary
+    // fractions (the last axis is a single no-op entry unless
+    // --adversary-fraction was given)
+    let total = nodes.len() * seeds.len() * adversary_fractions.len();
     let mut reports = Vec::with_capacity(total);
     for n in &nodes {
         for s in &seeds {
-            let spec = build_spec(scenario, *n as usize, *s, &overrides);
-            eprintln!(
-                "[{}/{}] {scenario}: {} peers, seed {s}...",
-                reports.len() + 1,
-                total,
-                spec.initial_peers(),
-            );
-            let report = execute(&spec, progress);
-            eprintln!("  {}", report.summary_line());
-            reports.push(report);
+            for f in &adversary_fractions {
+                let spec = build_spec(scenario, *n as usize, *s, *f, &overrides);
+                let observers = match spec.surveillance {
+                    Some(_) => format!(", {} observers", spec.observer_count()),
+                    None => String::new(),
+                };
+                eprintln!(
+                    "[{}/{}] {scenario}: {} peers, seed {s}{observers}...",
+                    reports.len() + 1,
+                    total,
+                    spec.initial_peers(),
+                );
+                let report = execute(&spec, progress);
+                eprintln!("  {}", report.summary_line());
+                reports.push(report);
+            }
         }
     }
     let mut json = String::from("[\n");

@@ -345,6 +345,20 @@ impl Testbed {
         self.net.node_mut(NodeId(peer)).set_censor(censor);
     }
 
+    /// Marks a peer as a colluding passive observer (see
+    /// [`RlnRelayNode::set_observer`]): its wire-level arrival records
+    /// feed the post-run source-attribution estimators.
+    pub fn set_observer(&mut self, peer: usize, observer: bool) {
+        self.net.node_mut(NodeId(peer)).set_observer(observer);
+    }
+
+    /// A peer's observation records (empty unless the peer was marked an
+    /// observer). Readable even after the peer crashed — a confiscated
+    /// observer's tape is still evidence.
+    pub fn observations(&self, peer: usize) -> &[wakurln_gossipsub::Observation] {
+        self.net.node(NodeId(peer)).observations()
+    }
+
     /// Advances the whole world (network, chain, event sync, slashing
     /// submission) by `dt_ms`, in lock-step slices of `slice_ms`.
     pub fn run(&mut self, dt_ms: u64, slice_ms: u64) {

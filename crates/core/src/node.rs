@@ -334,6 +334,20 @@ impl RlnRelayNode {
         &self.relay
     }
 
+    /// Switches the passive observer tap (the colluding-surveillance
+    /// adversary of the scenario library): while enabled, every incoming
+    /// message forward is recorded with its previous hop and arrival
+    /// time. Protocol behaviour is unchanged — the adversary is
+    /// *passive*; only its post-run attribution analysis differs.
+    pub fn set_observer(&mut self, observer: bool) {
+        self.relay.set_observer(observer);
+    }
+
+    /// Wire-level observation records taken while the tap was enabled.
+    pub fn observations(&self) -> &[wakurln_gossipsub::Observation] {
+        self.relay.observations()
+    }
+
     /// Light-tree storage footprint in bytes (E3).
     pub fn membership_storage_bytes(&self) -> usize {
         self.tree.storage_bytes()

@@ -23,8 +23,24 @@ pub struct GossipsubConfig {
     /// Seen-cache time-to-live, milliseconds.
     pub seen_ttl_ms: u64,
     /// Maximum IHAVE ids answered with IWANT per heartbeat per peer
-    /// (bounds the IWANT-flood attack surface).
+    /// (bounds the IWANT-flood attack surface). The same budget bounds
+    /// the *serving* side: full payloads handed out of the mcache to one
+    /// peer per heartbeat, no matter how many IWANT frames the ids are
+    /// split across.
     pub max_iwant_per_heartbeat: usize,
+    /// Source-anonymity countermeasure: every wire copy of an **own**
+    /// published message — each first-hop eager push, and IWANT replies
+    /// serving it from the mcache — is held back for an independent
+    /// uniform delay in `[0, publish_jitter_ms]` drawn from the node's
+    /// deterministic RNG stream. Decorrelates first-arrival timing from
+    /// mesh adjacency, which is what first-spy / earliest-arrival
+    /// attribution estimators key on (see the gossip-privacy analyses
+    /// cited in `PAPERS.md`); covering the IWANT path too matters
+    /// because the publisher's own IHAVE gossip would otherwise hand an
+    /// observer an unjittered `from = publisher` forward on request.
+    /// Relaying *others'* messages is never jittered. `0` disables the
+    /// countermeasure.
+    pub publish_jitter_ms: u64,
     /// Whether v1.1 peer scoring is active.
     pub scoring_enabled: bool,
     /// Liveness timeout: a mesh peer not heard from for this long is
@@ -47,6 +63,7 @@ impl Default for GossipsubConfig {
             history_gossip: 3,
             seen_ttl_ms: 120_000,
             max_iwant_per_heartbeat: 64,
+            publish_jitter_ms: 0,
             scoring_enabled: true,
             peer_timeout_ms: 30_000,
         }

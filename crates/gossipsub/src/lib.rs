@@ -28,7 +28,8 @@ pub mod types;
 
 pub use config::{GossipsubConfig, ScoringConfig};
 pub use node::{
-    AcceptAll, BatchDecision, Delivery, GossipsubNode, SubmitOutcome, ValidationResult, Validator,
+    AcceptAll, BatchDecision, Delivery, GossipsubNode, Observation, SubmitOutcome,
+    ValidationResult, Validator,
 };
 pub use score::PeerScore;
 pub use types::{MessageCache, MessageId, RawMessage, Rpc, Topic};

@@ -4,6 +4,7 @@ use crate::config::{GossipsubConfig, ScoringConfig};
 use crate::score::PeerScore;
 use crate::types::{MessageCache, MessageId, RawMessage, Rpc, Topic};
 use rand::seq::SliceRandom;
+use rand::Rng;
 use std::collections::{BTreeSet, HashMap};
 use wakurln_netsim::{Bytes, Context, Node, NodeId};
 
@@ -112,6 +113,26 @@ impl Validator for AcceptAll {
     }
 }
 
+/// One wire-level record taken by a passive observer tap: a `Forward`
+/// frame arrived, carrying message `id`, handed over by neighbour
+/// `from`, at simulated time `at_ms`.
+///
+/// This is exactly the view a network-level adversary controlling this
+/// node gets *without* breaking any cryptography — no payload contents,
+/// no signatures, just content id, timing and the previous hop. The
+/// source-attribution estimators of the gossip-privacy literature
+/// ("first spy" / earliest arrival, and centrality variants) operate on
+/// collections of these records pooled across colluding observers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Observation {
+    /// Content-derived message id of the observed `Forward`.
+    pub id: MessageId,
+    /// The neighbour that forwarded the message to the observer.
+    pub from: NodeId,
+    /// Simulated arrival time, milliseconds.
+    pub at_ms: u64,
+}
+
 /// A message delivered to the local application.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Delivery {
@@ -150,6 +171,23 @@ pub struct GossipsubNode<V: Validator> {
     delivered: Vec<Delivery>,
     /// IWANTs already spent per peer this heartbeat.
     iwant_spent: HashMap<NodeId, usize>,
+    /// Full payloads already served from the mcache per requesting peer
+    /// this heartbeat (the serving-side mirror of `iwant_spent`): the
+    /// budget is per *heartbeat*, not per RPC, so splitting ids across
+    /// many IWANT frames — or re-requesting the same id — cannot drain
+    /// unbounded payload bytes out of the cache.
+    iwant_served: HashMap<NodeId, usize>,
+    /// Ids this node itself published while `publish_jitter_ms` was
+    /// active: every wire copy of these — eager push *and* IWANT
+    /// serving — gets a fresh hold, so no path leaks the unjittered
+    /// `from = publisher` timing. GC'd with the seen-cache.
+    own_published: BTreeSet<MessageId>,
+    /// Passive observer tap: when enabled, every incoming `Forward`
+    /// frame is recorded as an [`Observation`] (duplicates included —
+    /// the adversary sees the wire, not the dedup cache).
+    observer: bool,
+    /// Records taken while `observer` is set, in arrival order.
+    observations: Vec<Observation>,
     /// Last time (ms) any RPC arrived from a peer — the liveness signal
     /// behind churn repair (crashed peers go quiet and are pruned after
     /// `peer_timeout_ms`).
@@ -182,6 +220,10 @@ impl<V: Validator> GossipsubNode<V> {
             validator,
             delivered: Vec::new(),
             iwant_spent: HashMap::new(),
+            iwant_served: HashMap::new(),
+            own_published: BTreeSet::new(),
+            observer: false,
+            observations: Vec::new(),
             last_heard: HashMap::new(),
             pending_validation: HashMap::new(),
         }
@@ -221,10 +263,46 @@ impl<V: Validator> GossipsubNode<V> {
         self.mcache.put(msg.clone());
         ctx.count("published", 1);
         let targets = self.eager_targets(&topic, None);
+        let jitter = self.config.publish_jitter_ms;
+        if jitter > 0 {
+            // remember own ids so IWANT serving jitters them too — the
+            // message enters the mcache (and so our IHAVE gossip)
+            // immediately, and an unjittered IWANT reply would hand an
+            // observer exactly the from=publisher timing signal the
+            // eager-push holds below are hiding
+            self.own_published.insert(id);
+        }
         for peer in targets {
-            ctx.send(peer, Rpc::Forward(msg.clone()));
+            if jitter > 0 {
+                // source-anonymity countermeasure: each first-hop copy is
+                // held back independently, so the neighbour that hears us
+                // first is no longer determined by link latency alone
+                let hold = ctx.rng().gen_range(0..=jitter);
+                ctx.send_delayed(peer, Rpc::Forward(msg.clone()), hold);
+            } else {
+                ctx.send(peer, Rpc::Forward(msg.clone()));
+            }
         }
         id
+    }
+
+    /// Switches the passive observer tap on or off (the colluding
+    /// surveillance adversary of the scenario library): while enabled,
+    /// every incoming `Forward` frame is recorded as an [`Observation`].
+    /// Purely read-side — an observer's protocol behaviour is unchanged.
+    pub fn set_observer(&mut self, observer: bool) {
+        self.observer = observer;
+    }
+
+    /// Whether the observer tap is enabled.
+    pub fn is_observer(&self) -> bool {
+        self.observer
+    }
+
+    /// The wire-level records taken while the observer tap was enabled,
+    /// in arrival order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
     }
 
     /// Messages delivered to the application so far.
@@ -366,9 +444,16 @@ impl<V: Validator> GossipsubNode<V> {
         &mut self,
         ctx: &mut Context<Rpc>,
         from: NodeId,
-        _topic: Topic,
+        topic: Topic,
         ids: Vec<MessageId>,
     ) {
+        // IHAVE for a topic we never subscribed to buys the advertiser
+        // nothing but would still spend our IWANT budget and pull
+        // payloads that validation drops on arrival — ignore it outright
+        if !self.subscriptions.contains(&topic) {
+            ctx.count("ihave_ignored_unsubscribed", 1);
+            return;
+        }
         if self.config.scoring_enabled && !self.score.accepts_gossip(from) {
             ctx.count("ihave_ignored_low_score", 1);
             return;
@@ -389,22 +474,65 @@ impl<V: Validator> GossipsubNode<V> {
     }
 
     fn handle_iwant(&mut self, ctx: &mut Context<Rpc>, from: NodeId, ids: Vec<MessageId>) {
-        for id in ids.into_iter().take(self.config.max_iwant_per_heartbeat) {
-            if let Some(msg) = self.mcache.get(&id) {
-                ctx.send(from, Rpc::Forward(msg.clone()));
+        // the serving budget is per peer per *heartbeat*, not per RPC: a
+        // peer splitting ids across many IWANT frames (or re-requesting
+        // the same id) would otherwise drain unbounded full payloads out
+        // of the mcache between two heartbeats — a classic
+        // request-amplification vector, since an IWANT id costs the
+        // requester 32 bytes and the responder a whole message
+        let served = self.iwant_served.entry(from).or_insert(0);
+        let budget = self.config.max_iwant_per_heartbeat.saturating_sub(*served);
+        let mut sent = 0usize;
+        let mut capped = 0u64;
+        for id in ids {
+            if sent >= budget {
+                capped += 1;
+                continue;
             }
+            if let Some(msg) = self.mcache.get(&id) {
+                let jitter = self.config.publish_jitter_ms;
+                if jitter > 0 && self.own_published.contains(&id) {
+                    // serving our own fresh message is a first hop too:
+                    // an unjittered reply would leak the exact
+                    // from=publisher timing the eager-push holds hide
+                    let hold = ctx.rng().gen_range(0..=jitter);
+                    ctx.send_delayed(from, Rpc::Forward(msg.clone()), hold);
+                } else {
+                    ctx.send(from, Rpc::Forward(msg.clone()));
+                }
+                sent += 1;
+            }
+        }
+        *self.iwant_served.get_mut(&from).expect("just inserted") += sent;
+        if capped > 0 {
+            ctx.count("iwant_served_capped", capped);
         }
     }
 
     fn handle_graft(&mut self, ctx: &mut Context<Rpc>, from: NodeId, topic: Topic) {
         let subscribed = self.subscriptions.contains(&topic);
+        // only peers that announced the subscription may graft: a mesh
+        // slot hands out eager-push fan-out, and granting it to a peer
+        // that never subscribed lets an adversary collect full-message
+        // streams for topics it has no stake in
+        let peer_subscribes = self
+            .peer_topics
+            .get(&topic)
+            .is_some_and(|subscribers| subscribers.contains(&from));
         let acceptable = !self.config.scoring_enabled || !self.score.should_evict(from);
-        if subscribed && acceptable {
-            self.mesh.entry(topic).or_default().insert(from);
-            self.score.set_in_mesh(from, true);
-        } else {
-            ctx.send(from, Rpc::Prune(topic));
+        if subscribed && peer_subscribes && acceptable {
+            let mesh = self.mesh.entry(topic.clone()).or_default();
+            // cap admissions at D_hi: an unbounded GRAFT flood would
+            // otherwise inflate the mesh (and with it every eager-push
+            // fan-out) arbitrarily until the next heartbeat prunes it
+            if mesh.contains(&from) || mesh.len() < self.config.mesh_n_high {
+                mesh.insert(from);
+                self.score.set_in_mesh(from, true);
+                return;
+            }
+            ctx.count("graft_rejected_mesh_full", 1);
         }
+        ctx.send(from, Rpc::Prune(topic));
     }
 
     fn handle_prune(&mut self, from: NodeId, topic: Topic) {
@@ -458,6 +586,7 @@ impl<V: Validator> GossipsubNode<V> {
             self.score.heartbeat();
         }
         self.iwant_spent.clear();
+        self.iwant_served.clear();
         self.liveness_sweep(ctx);
 
         for topic in self.subscriptions.clone() {
@@ -553,6 +682,9 @@ impl<V: Validator> GossipsubNode<V> {
         let ttl = self.config.seen_ttl_ms;
         let now = ctx.now();
         self.seen.retain(|_, t| now.saturating_sub(*t) < ttl);
+        if !self.own_published.is_empty() {
+            self.own_published.retain(|id| self.seen.contains_key(id));
+        }
         ctx.set_timer(self.config.heartbeat_ms, TIMER_HEARTBEAT);
     }
 }
@@ -567,10 +699,7 @@ impl<V: Validator> Node for GossipsubNode<V> {
             }
         }
         // desynchronize heartbeats across the network
-        let jitter = {
-            use rand::Rng;
-            ctx.rng().gen_range(0..self.config.heartbeat_ms)
-        };
+        let jitter = ctx.rng().gen_range(0..self.config.heartbeat_ms);
         ctx.set_timer(self.config.heartbeat_ms + jitter, TIMER_HEARTBEAT);
         if let Some(interval) = self.validator.flush_interval_ms() {
             ctx.set_timer(interval, TIMER_FLUSH);
@@ -605,11 +734,36 @@ impl<V: Validator> Node for GossipsubNode<V> {
                 }
                 self.handle_prune(from, topic);
             }
-            Rpc::Forward(raw) => self.handle_forward(ctx, from, raw),
+            Rpc::Forward(raw) => {
+                if self.observer {
+                    // wire-level tap: record before dedup/validation —
+                    // the adversary sees every arriving frame, not the
+                    // protocol's view of it
+                    self.observations.push(Observation {
+                        id: raw.id(),
+                        from,
+                        at_ms: ctx.now(),
+                    });
+                    ctx.count("observations_recorded", 1);
+                }
+                self.handle_forward(ctx, from, raw);
+            }
             Rpc::IHave { topic, ids } => self.handle_ihave(ctx, from, topic, ids),
             Rpc::IWant { ids } => self.handle_iwant(ctx, from, ids),
             Rpc::Graft(topic) => self.handle_graft(ctx, from, topic),
-            Rpc::Prune(topic) => self.handle_prune(from, topic),
+            Rpc::Prune(topic) => {
+                self.handle_prune(from, topic.clone());
+                // graft admission requires the pruner to have heard our
+                // Subscribe, but that announcement is one-shot and can
+                // be lost on a lossy link — without repair the pair
+                // would loop graft → prune every heartbeat forever.
+                // Re-announcing here resynchronizes subscription state
+                // at one small frame per prune; the `newly_learned`
+                // guard on the receiving side keeps it loop-free.
+                if self.subscriptions.contains(&topic) {
+                    ctx.send(from, Rpc::Subscribe(topic));
+                }
+            }
             Rpc::Ping => ctx.send(from, Rpc::Pong),
             Rpc::Pong => {} // the `last_heard` update above is the point
         }
@@ -878,6 +1032,291 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
+    }
+
+    /// An isolated node plus one subscribed receiver, with no bootstrap
+    /// links: RPCs are driven into node 0 by hand via `invoke`, so the
+    /// control-plane handlers are exercised without mesh traffic in the
+    /// way. Simulated time stays below the first heartbeat (armed at
+    /// 1000–2000 ms), so per-heartbeat budgets are never reset.
+    fn two_isolated_nodes(seed: u64) -> Net {
+        let topic = Topic::new("test");
+        let mut net: Net = Network::new(ConstantLatency(10), seed);
+        for _ in 0..2 {
+            let mut node = GossipsubNode::new(
+                GossipsubConfig::default(),
+                ScoringConfig::default(),
+                vec![],
+                AcceptAll,
+            );
+            node.subscribe(topic.clone());
+            net.add_node(node);
+        }
+        net
+    }
+
+    #[test]
+    fn iwant_split_across_many_rpcs_cannot_exceed_the_heartbeat_budget() {
+        let mut net = two_isolated_nodes(21);
+        let cap = GossipsubConfig::default().max_iwant_per_heartbeat;
+        // node 0 caches 200 distinct messages (no mesh: nothing is sent)
+        let ids: Vec<MessageId> = (0..200u32)
+            .map(|k| {
+                net.invoke(NodeId(0), |node, ctx| {
+                    node.publish(ctx, Topic::new("test"), k.to_le_bytes().to_vec())
+                })
+            })
+            .collect();
+        assert_eq!(net.metrics().counter("messages_sent"), 0);
+        // the attacker requests them one id per IWANT frame — 200 RPCs,
+        // each individually far below the per-RPC cap
+        for id in &ids {
+            let id = *id;
+            net.invoke(NodeId(0), |node, ctx| {
+                node.on_message(ctx, NodeId(1), Rpc::IWant { ids: vec![id] })
+            });
+        }
+        net.run_until(500);
+        assert_eq!(
+            net.metrics().counter("messages_sent"),
+            cap as u64,
+            "served payloads must stop at the per-heartbeat budget"
+        );
+        assert_eq!(net.node(NodeId(1)).delivered().len(), cap);
+        assert_eq!(
+            net.metrics().counter("iwant_served_capped"),
+            (200 - cap) as u64
+        );
+    }
+
+    #[test]
+    fn rerequesting_the_same_id_is_bounded_by_the_served_budget() {
+        let mut net = two_isolated_nodes(22);
+        let cap = GossipsubConfig::default().max_iwant_per_heartbeat;
+        let id = net.invoke(NodeId(0), |node, ctx| {
+            node.publish(ctx, Topic::new("test"), b"single".to_vec())
+        });
+        for _ in 0..200 {
+            net.invoke(NodeId(0), |node, ctx| {
+                node.on_message(ctx, NodeId(1), Rpc::IWant { ids: vec![id] })
+            });
+        }
+        net.run_until(500);
+        // every serve of the same id costs a full payload on the wire;
+        // the budget (not the requester) bounds the amplification
+        assert_eq!(net.metrics().counter("messages_sent"), cap as u64);
+        // the receiver deduplicates: one delivery, the rest are dupes
+        assert_eq!(net.node(NodeId(1)).delivered().len(), 1);
+    }
+
+    #[test]
+    fn graft_flood_is_capped_at_mesh_n_high() {
+        let mut net = two_isolated_nodes(23);
+        let cfg = GossipsubConfig::default();
+        let topic = Topic::new("test");
+        // 30 peers announce the subscription, then all graft at once
+        // (between two heartbeats, so no prune step runs in between)
+        for p in 10..40 {
+            net.invoke(NodeId(0), |node, ctx| {
+                node.on_message(ctx, NodeId(p), Rpc::Subscribe(Topic::new("test")));
+                node.on_message(ctx, NodeId(p), Rpc::Graft(Topic::new("test")));
+            });
+        }
+        let mesh = net.node(NodeId(0)).mesh_peers(&topic);
+        assert_eq!(
+            mesh.len(),
+            cfg.mesh_n_high,
+            "graft flood inflated the mesh past D_hi"
+        );
+        assert_eq!(
+            net.metrics().counter("graft_rejected_mesh_full"),
+            (30 - cfg.mesh_n_high) as u64
+        );
+    }
+
+    #[test]
+    fn graft_from_peer_that_never_subscribed_is_pruned() {
+        let mut net = two_isolated_nodes(24);
+        let topic = Topic::new("test");
+        net.invoke(NodeId(0), |node, ctx| {
+            node.on_message(ctx, NodeId(9), Rpc::Graft(Topic::new("test")))
+        });
+        assert!(
+            !net.node(NodeId(0)).mesh_peers(&topic).contains(&NodeId(9)),
+            "unsubscribed peer admitted to the mesh"
+        );
+        // after announcing the subscription the same peer is admitted
+        net.invoke(NodeId(0), |node, ctx| {
+            node.on_message(ctx, NodeId(9), Rpc::Subscribe(Topic::new("test")));
+            node.on_message(ctx, NodeId(9), Rpc::Graft(Topic::new("test")));
+        });
+        assert!(net.node(NodeId(0)).mesh_peers(&topic).contains(&NodeId(9)));
+    }
+
+    #[test]
+    fn pruned_peer_reannounces_subscription_and_regrafts() {
+        // B's one-shot Subscribe to A was lost: A does not know B
+        // subscribes, so A prunes B's graft. The prune must make B
+        // re-announce, after which the next graft is admitted — without
+        // this repair the pair would loop graft → prune forever.
+        let mut net = two_isolated_nodes(26);
+        let topic = Topic::new("test");
+        // A (node 0) receives a graft from B (node 1) it cannot verify
+        net.invoke(NodeId(0), |node, ctx| {
+            node.on_message(ctx, NodeId(1), Rpc::Graft(Topic::new("test")))
+        });
+        assert!(!net.node(NodeId(0)).mesh_peers(&topic).contains(&NodeId(1)));
+        // A's Prune reaches B; B re-announces Subscribe; A learns B
+        net.run_until(100);
+        // B's next heartbeat-style graft now succeeds
+        net.invoke(NodeId(0), |node, ctx| {
+            node.on_message(ctx, NodeId(1), Rpc::Graft(Topic::new("test")))
+        });
+        assert!(
+            net.node(NodeId(0)).mesh_peers(&topic).contains(&NodeId(1)),
+            "graft still rejected after the subscription was re-announced"
+        );
+    }
+
+    #[test]
+    fn iwant_serving_of_own_messages_is_jittered_too() {
+        let topic = Topic::new("test");
+        let mut net: Net = Network::new(ConstantLatency(10), 31);
+        for _ in 0..2 {
+            let mut node = GossipsubNode::new(
+                GossipsubConfig {
+                    publish_jitter_ms: 400,
+                    ..Default::default()
+                },
+                ScoringConfig::default(),
+                vec![],
+                AcceptAll,
+            );
+            node.subscribe(topic.clone());
+            net.add_node(node);
+        }
+        // the publisher caches its message (no mesh: nothing eager-pushed)
+        let id = net.invoke(NodeId(0), |node, ctx| {
+            node.publish(ctx, Topic::new("test"), b"gossiped-own".to_vec())
+        });
+        // an observer that heard the IHAVE requests the full payload
+        net.invoke(NodeId(0), |node, ctx| {
+            node.on_message(ctx, NodeId(1), Rpc::IWant { ids: vec![id] })
+        });
+        net.run_until(1_000);
+        let delivery = net
+            .node(NodeId(1))
+            .delivered()
+            .iter()
+            .find(|d| d.id == id)
+            .expect("IWANT must still be served");
+        // base latency is 10 ms; an unjittered serve would arrive exactly
+        // then, leaking the from=publisher timing (seed chosen so the
+        // deterministic hold draw is nonzero)
+        assert!(
+            delivery.at_ms > 10,
+            "own-message IWANT serve was not held back (arrived at {} ms)",
+            delivery.at_ms
+        );
+    }
+
+    #[test]
+    fn ihave_for_unsubscribed_topic_spends_no_iwant_budget() {
+        let mut net = two_isolated_nodes(25);
+        let foreign = MessageId::compute(&Topic::new("other"), b"unseen");
+        net.invoke(NodeId(0), |node, ctx| {
+            node.on_message(
+                ctx,
+                NodeId(1),
+                Rpc::IHave {
+                    topic: Topic::new("other"),
+                    ids: vec![foreign],
+                },
+            )
+        });
+        assert_eq!(net.metrics().counter("ihave_ignored_unsubscribed"), 1);
+        assert_eq!(
+            net.metrics().counter("iwant_sent"),
+            0,
+            "IWANT budget spent on an unsubscribed topic"
+        );
+        // control: the same advertisement on the subscribed topic is acted on
+        let local = MessageId::compute(&Topic::new("test"), b"unseen");
+        net.invoke(NodeId(0), |node, ctx| {
+            node.on_message(
+                ctx,
+                NodeId(1),
+                Rpc::IHave {
+                    topic: Topic::new("test"),
+                    ids: vec![local],
+                },
+            )
+        });
+        assert_eq!(net.metrics().counter("iwant_sent"), 1);
+    }
+
+    #[test]
+    fn observer_tap_records_arrivals_with_previous_hop() {
+        let mut net = build_network(12, 13);
+        net.node_mut(NodeId(5)).set_observer(true);
+        net.run_until(10_000);
+        let id = net.invoke(NodeId(0), |node, ctx| {
+            node.publish(ctx, Topic::new("test"), b"watched".to_vec())
+        });
+        net.run_until(30_000);
+        let observations = net.node(NodeId(5)).observations();
+        assert!(!observations.is_empty(), "observer recorded nothing");
+        for obs in observations {
+            assert_eq!(obs.id, id);
+            assert_ne!(obs.from, NodeId(5), "recorded itself as previous hop");
+            assert!(obs.at_ms >= 10_000);
+        }
+        // the tap is opt-in: everyone else recorded nothing
+        for i in 0..12 {
+            if i != 5 {
+                assert!(net.node(NodeId(i)).observations().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn publish_jitter_spreads_first_hop_arrivals_without_losing_delivery() {
+        let topic = Topic::new("test");
+        let adjacency = topology::full_mesh(8);
+        let mut net: Net = Network::new(ConstantLatency(10), 9);
+        for peers in adjacency {
+            let mut node = GossipsubNode::new(
+                GossipsubConfig {
+                    publish_jitter_ms: 400,
+                    ..Default::default()
+                },
+                ScoringConfig::default(),
+                peers,
+                AcceptAll,
+            );
+            node.subscribe(topic.clone());
+            net.add_node(node);
+        }
+        net.run_until(8_000);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.publish(ctx, Topic::new("test"), b"jittered".to_vec())
+        });
+        net.run_until(30_000);
+        let arrivals: Vec<u64> = (1..8)
+            .map(|i| {
+                net.node(NodeId(i))
+                    .delivered()
+                    .iter()
+                    .find(|d| d.data == b"jittered")
+                    .expect("jitter must not cost delivery")
+                    .at_ms
+            })
+            .collect();
+        // constant links would put every first-hop arrival at +10 ms;
+        // the per-target holds must spread them out
+        let distinct: BTreeSet<u64> = arrivals.iter().copied().collect();
+        assert!(distinct.len() > 1, "all arrivals identical despite jitter");
+        assert!(arrivals.iter().all(|at| *at >= 8_010));
     }
 
     #[test]

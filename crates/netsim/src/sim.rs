@@ -109,8 +109,17 @@ impl<M> Ord for QueuedEvent<M> {
 }
 
 pub(crate) enum Effect<M> {
-    Send { to: NodeId, msg: M },
-    Timer { delay_ms: u64, token: u64 },
+    Send {
+        to: NodeId,
+        msg: M,
+        /// Sender-side hold-back added on top of the sampled link
+        /// latency (see [`Context::send_delayed`]). 0 for plain sends.
+        hold_ms: u64,
+    },
+    Timer {
+        delay_ms: u64,
+        token: u64,
+    },
 }
 
 /// One buffered metrics update, replayed into [`Metrics`] when a step's
@@ -176,7 +185,21 @@ impl<M: Payload> Context<M> {
     /// Sends `msg` to `to`; it arrives after a sampled link latency
     /// (unless dropped by the loss model).
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.effects.push(Effect::Send { to, msg });
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            hold_ms: 0,
+        });
+    }
+
+    /// Sends `msg` to `to` after holding it locally for `hold_ms` before
+    /// it enters the link (arrival at `now + hold_ms + latency`). This is
+    /// the timing-decorrelation primitive behind publisher-side forward
+    /// delays: the hold is part of the *sender's* behaviour, so loss and
+    /// latency are still sampled from the link stream in canonical merge
+    /// order and determinism is unaffected.
+    pub fn send_delayed(&mut self, to: NodeId, msg: M, hold_ms: u64) {
+        self.effects.push(Effect::Send { to, msg, hold_ms });
     }
 
     /// Schedules [`Node::on_timer`] with `token` after `delay_ms`.
@@ -587,7 +610,7 @@ impl<N: Node> Network<N> {
     pub(crate) fn apply_effects(&mut self, origin: NodeId, effects: Vec<Effect<N::Message>>) {
         for effect in effects {
             match effect {
-                Effect::Send { to, msg } => {
+                Effect::Send { to, msg, hold_ms } => {
                     if to.index() >= self.nodes.len() {
                         self.metrics.count("messages_to_unknown_peer", 1);
                         continue;
@@ -608,7 +631,7 @@ impl<N: Node> Network<N> {
                     }
                     let latency = self.latency.sample(&mut self.link_rng, origin, to);
                     let ev = QueuedEvent {
-                        at: self.now + latency,
+                        at: self.now + hold_ms + latency,
                         seq: self.next_seq(),
                         node: to,
                         kind: EventKind::Deliver { from: origin, msg },
@@ -766,6 +789,20 @@ mod tests {
         assert_eq!(net.now(), 5);
         net.run_until(10);
         assert!(net.node(NodeId(1)).seen);
+    }
+
+    #[test]
+    fn send_delayed_holds_back_delivery_by_exactly_the_hold() {
+        let mut net = ring(2); // constant 10 ms links
+        net.invoke(NodeId(0), |node, ctx| {
+            node.seen = true;
+            ctx.send_delayed(NodeId(1), b"m".to_vec(), 25);
+        });
+        net.run_until(34); // hold 25 + latency 10 = arrival at 35
+        assert!(!net.node(NodeId(1)).seen);
+        net.run_until(35);
+        assert!(net.node(NodeId(1)).seen);
+        assert_eq!(net.node(NodeId(1)).received_at, Some(35));
     }
 
     #[test]

@@ -75,6 +75,19 @@ impl<V: Validator> WakuRelayNode<V> {
         self.inner.delivered()
     }
 
+    /// Switches the passive observer tap on the underlying gossip node
+    /// (see [`GossipsubNode::set_observer`]): while enabled, every
+    /// incoming message forward is recorded with its previous hop and
+    /// arrival time — the colluding-surveillance adversary's view.
+    pub fn set_observer(&mut self, observer: bool) {
+        self.inner.set_observer(observer);
+    }
+
+    /// Wire-level observation records taken while the tap was enabled.
+    pub fn observations(&self) -> &[wakurln_gossipsub::Observation] {
+        self.inner.observations()
+    }
+
     /// Access to the underlying GossipSub state (mesh, scores, validator).
     pub fn gossipsub(&self) -> &GossipsubNode<V> {
         &self.inner

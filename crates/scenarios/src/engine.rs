@@ -7,6 +7,7 @@
 //! spec, same seed ⇒ byte-identical report (the
 //! `tests/scenario_determinism.rs` suite holds the engine to this).
 
+use crate::attribution::{attribute, PooledObservation};
 use crate::report::ScenarioReport;
 use crate::spec::{
     ChurnAction, DeviceClassSpec, EclipseSpec, LatencySpec, ScenarioSpec, TopologySpec,
@@ -14,9 +15,10 @@ use crate::spec::{
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use waku_rln_relay::{CostModel, Testbed, TestbedConfig};
+use wakurln_gossipsub::MessageId;
 use wakurln_netsim::{topology, NodeId, QuiescenceOutcome};
 
 /// A newly joined peer needs its registration mined, synced, and a mesh
@@ -27,6 +29,8 @@ const JOIN_SYNC_GRACE_MS: u64 = 20_000;
 /// What the engine remembers about one honest publish.
 struct PublishRecord {
     payload: Vec<u8>,
+    /// Content-derived wire id — the key observer tapes are pooled by.
+    id: MessageId,
     publisher: usize,
     at_ms: u64,
 }
@@ -99,7 +103,7 @@ fn run_scenario_impl(
         LatencySpec::Constant { ms } => (ms, ms),
         LatencySpec::Uniform { min_ms, max_ms } => (min_ms, max_ms),
     };
-    let config = TestbedConfig {
+    let mut config = TestbedConfig {
         n_peers: n_initial,
         tree_depth: depth,
         epoch: spec.epoch,
@@ -113,6 +117,9 @@ fn run_scenario_impl(
         threads: spec.threads,
         ..TestbedConfig::default()
     };
+    // the source-anonymity countermeasure: publishers hold first-hop
+    // copies back for per-target jitter drawn from their own RNG stream
+    config.gossip.publish_jitter_ms = spec.publish_jitter_ms;
 
     let adjacency = build_adjacency(spec, honest + spammers, attackers);
     let costs = assign_costs(&spec.devices, honest, n_initial, config.cost);
@@ -127,6 +134,26 @@ fn run_scenario_impl(
 
     // engine-side randomness, independent of the testbed's RNG stream
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x05ca_1ab1_e0dd_ba11);
+
+    // surveillance: the adversary's colluding observers, drawn
+    // deterministically from the initial honest population (minus the
+    // eclipse victim — an eclipsed tap sees nothing anyway). Observers
+    // stay protocol-honest but are kept out of the publisher pool: the
+    // adversary does not publish the traffic it wants to attribute.
+    let observers: Vec<usize> = match spec.surveillance {
+        None => Vec::new(),
+        Some(_) => {
+            let mut pool: Vec<usize> = (0..honest).filter(|i| Some(*i) != victim).collect();
+            pool.shuffle(&mut rng);
+            pool.truncate(spec.observer_count());
+            pool.sort_unstable();
+            for &peer in &pool {
+                tb.set_observer(peer, true);
+            }
+            pool
+        }
+    };
+    let observer_set: HashSet<usize> = observers.iter().copied().collect();
 
     // assemble the timeline
     let mut events: Vec<(u64, EventKind)> = Vec::new();
@@ -220,14 +247,16 @@ fn run_scenario_impl(
             }
             EventKind::Traffic(round) => {
                 let mut candidates = honest_candidates(&tb, honest, &joined_at, victim);
-                // only synced members can generate proofs
-                candidates.retain(|p| tb.is_member(*p));
+                // only synced members can generate proofs, and the
+                // surveillance adversary's taps never publish
+                candidates.retain(|p| tb.is_member(*p) && !observer_set.contains(p));
                 candidates.shuffle(&mut rng);
                 for p in candidates.into_iter().take(spec.traffic.publishers) {
                     let payload = format!("r{round}-p{p}").into_bytes();
                     match tb.publish(p, &payload) {
-                        Ok(_) => publishes.push(PublishRecord {
+                        Ok(id) => publishes.push(PublishRecord {
                             payload,
+                            id,
                             publisher: p,
                             at_ms: tb.net.now(),
                         }),
@@ -354,6 +383,60 @@ fn run_scenario_impl(
         cpu_sum += c;
     }
 
+    // the adversary's post-run analysis: pool every observer tape by
+    // message id and run the attribution estimators over each honest
+    // publish. Pure post-processing over per-node state in fixed order —
+    // thread-count independent like everything else in the report.
+    let mut anonymity_observers = None;
+    let mut anonymity_observations = None;
+    let mut anonymity_messages_observed = None;
+    let mut anonymity_first_spy_precision_at1 = None;
+    let mut anonymity_centrality_precision_at1 = None;
+    let mut anonymity_set_mean_size = None;
+    let mut anonymity_arrival_entropy_bits = None;
+    if spec.surveillance.is_some() {
+        let mut pooled: HashMap<MessageId, Vec<PooledObservation>> = HashMap::new();
+        let mut observations_total = 0u64;
+        for &peer in &observers {
+            for obs in tb.observations(peer) {
+                observations_total += 1;
+                pooled.entry(obs.id).or_default().push(PooledObservation {
+                    observer: peer as u64,
+                    from: obs.from.as_u64(),
+                    at_ms: obs.at_ms,
+                });
+            }
+        }
+        let mut observed = 0u64;
+        let mut first_spy_hits = 0u64;
+        let mut centrality_hits = 0u64;
+        let mut set_size_sum = 0u64;
+        let mut entropy_sum = 0.0f64;
+        for publish in &publishes {
+            let Some(verdict) = pooled.get(&publish.id).and_then(|r| attribute(r)) else {
+                continue;
+            };
+            observed += 1;
+            if verdict.first_spy_guess == publish.publisher as u64 {
+                first_spy_hits += 1;
+            }
+            if verdict.centrality_guess == publish.publisher as u64 {
+                centrality_hits += 1;
+            }
+            set_size_sum += verdict.anonymity_set_size as u64;
+            entropy_sum += verdict.arrival_entropy_bits;
+        }
+        anonymity_observers = Some(observers.len() as u64);
+        anonymity_observations = Some(observations_total);
+        anonymity_messages_observed = Some(observed);
+        if observed > 0 {
+            anonymity_first_spy_precision_at1 = Some(first_spy_hits as f64 / observed as f64);
+            anonymity_centrality_precision_at1 = Some(centrality_hits as f64 / observed as f64);
+            anonymity_set_mean_size = Some(set_size_sum as f64 / observed as f64);
+            anonymity_arrival_entropy_bits = Some(entropy_sum / observed as f64);
+        }
+    }
+
     let metrics = tb.net.metrics();
     let report = ScenarioReport {
         scenario: spec.name.clone(),
@@ -401,6 +484,13 @@ fn run_scenario_impl(
         eclipse_victim_delivery_rate: spec
             .eclipse
             .map(|_| victim_delivered as f64 / victim_pairs.max(1) as f64),
+        anonymity_observers,
+        anonymity_observations,
+        anonymity_messages_observed,
+        anonymity_first_spy_precision_at1,
+        anonymity_centrality_precision_at1,
+        anonymity_set_mean_size,
+        anonymity_arrival_entropy_bits,
     };
     (report, tb)
 }

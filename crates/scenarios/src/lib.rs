@@ -21,10 +21,14 @@
 //! slashing, bandwidth and CPU per node, nullifier-map growth — as
 //! schema-stable JSON (byte-identical for the same spec + seed).
 //!
-//! The [`library`] module ships the seven canonical workloads
-//! ([`BUILTIN_NAMES`]); the `simctl` binary (in `wakurln-bench`) runs
-//! them from the command line, including parameter sweeps. See
-//! `docs/SCENARIOS.md` for the full schema reference.
+//! The [`library`] module ships the canonical workloads
+//! ([`BUILTIN_NAMES`]), including the source-anonymity adversary
+//! scenarios (`passive_surveillance`, `deanonymization_sweep`) whose
+//! colluding observer taps feed the [`attribution`] estimators; the
+//! `simctl` binary (in `wakurln-bench`) runs them from the command
+//! line, including parameter sweeps over network size, seed and
+//! adversary fraction. See `docs/SCENARIOS.md` for the full schema
+//! reference.
 //!
 //! # Example
 //!
@@ -42,15 +46,17 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod attribution;
 pub mod engine;
 pub mod library;
 pub mod report;
 pub mod spec;
 
+pub use attribution::{attribute, MessageAttribution, PooledObservation};
 pub use engine::{run_scenario, run_scenario_detailed, run_scenario_with_progress, Progress};
 pub use library::{builtin, BUILTIN_NAMES};
 pub use report::ScenarioReport;
 pub use spec::{
     ChurnAction, ChurnEvent, DeviceClassSpec, EclipseSpec, LatencySpec, ScenarioSpec, SpamSpec,
-    TopologySpec, TrafficSpec,
+    SurveillanceSpec, TopologySpec, TrafficSpec,
 };

@@ -1,18 +1,19 @@
 //! The built-in scenario library.
 //!
-//! Eight canonical workloads, each parameterized by network size and seed
+//! Ten canonical workloads, each parameterized by network size and seed
 //! so the same scenario runs at 8 peers in a unit test and at 1000–10000
 //! peers under `simctl`. Attack intensity and traffic volume scale with
 //! the population. See `docs/SCENARIOS.md` for what each scenario
 //! stresses and which paper claim it exercises.
 
 use crate::spec::{
-    ChurnAction, ChurnEvent, DeviceClassSpec, EclipseSpec, ScenarioSpec, SpamSpec, TrafficSpec,
+    ChurnAction, ChurnEvent, DeviceClassSpec, EclipseSpec, ScenarioSpec, SpamSpec,
+    SurveillanceSpec, TrafficSpec,
 };
 use waku_rln_relay::{EpochScheme, PipelineConfig};
 
 /// Names of all built-in scenarios, in canonical order.
-pub const BUILTIN_NAMES: [&str; 8] = [
+pub const BUILTIN_NAMES: [&str; 10] = [
     "baseline",
     "spam_burst",
     "targeted_eclipse",
@@ -21,6 +22,8 @@ pub const BUILTIN_NAMES: [&str; 8] = [
     "epoch_boundary_race",
     "high_throughput",
     "massive_population",
+    "passive_surveillance",
+    "deanonymization_sweep",
 ];
 
 /// Builds a built-in scenario by name, sized to `nodes` honest peers.
@@ -35,6 +38,8 @@ pub fn builtin(name: &str, nodes: usize, seed: u64) -> Option<ScenarioSpec> {
         "epoch_boundary_race" => epoch_boundary_race(nodes, seed),
         "high_throughput" => high_throughput(nodes, seed),
         "massive_population" => massive_population(nodes, seed),
+        "passive_surveillance" => passive_surveillance(nodes, seed),
+        "deanonymization_sweep" => deanonymization_sweep(nodes, seed),
         _ => return None,
     };
     Some(spec)
@@ -224,6 +229,44 @@ pub fn massive_population(nodes: usize, seed: u64) -> ScenarioSpec {
     spec
 }
 
+/// Passive surveillance (the gossip-privacy adversary model of both
+/// PAPERS.md privacy works): 10% of the honest relays are colluding
+/// observers recording `(message_id, arrival_ms, previous_hop)` on
+/// every forward; the rest publish as usual. The claim under test: with
+/// no countermeasure, first-spy / earliest-arrival attribution names
+/// the true publisher for a substantial fraction of messages — WAKU's
+/// PII-free envelope alone does **not** hide the source from a
+/// network-level adversary (the `anonymity_*` report section
+/// quantifies by how much).
+pub fn passive_surveillance(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "passive_surveillance".to_string();
+    spec.surveillance = Some(SurveillanceSpec {
+        observer_fraction: 0.10,
+    });
+    // extra rounds stabilize the precision estimate
+    spec.traffic.rounds = 4;
+    spec
+}
+
+/// The deanonymization trade-off workload: a stronger colluding
+/// adversary (25% of honest relays) against publishers whose first-hop
+/// forward delay is the `publish_jitter_ms` countermeasure knob
+/// (default off — sweep it, or the adversary fraction, from `simctl`
+/// via `--publish-jitter` / `--adversary-fraction`). The claim under
+/// test, from the related gossip-privacy analyses: attribution
+/// precision falls as forward-delay jitter rises, while delivery stays
+/// intact — privacy is bought with propagation latency, not loss.
+pub fn deanonymization_sweep(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "deanonymization_sweep".to_string();
+    spec.surveillance = Some(SurveillanceSpec {
+        observer_fraction: 0.25,
+    });
+    spec.traffic.rounds = 4;
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +292,16 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(builtin("not-a-scenario", 10, 1).is_none());
+    }
+
+    #[test]
+    fn surveillance_builtins_field_observers() {
+        let spec = passive_surveillance(100, 1);
+        assert_eq!(spec.observer_count(), 10);
+        assert_eq!(spec.publish_jitter_ms, 0);
+        let sweep = deanonymization_sweep(100, 1);
+        assert_eq!(sweep.observer_count(), 25);
+        assert_eq!(sweep.traffic.rounds, 4);
     }
 
     #[test]

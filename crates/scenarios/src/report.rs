@@ -120,6 +120,27 @@ pub struct ScenarioReport {
     /// Delivery rate seen by the eclipse victim alone (`null` when the
     /// scenario has no eclipse attack).
     pub eclipse_victim_delivery_rate: Option<f64>,
+
+    /// **Anonymity section** (all `null` without a surveillance
+    /// adversary): colluding observers the adversary controlled.
+    pub anonymity_observers: Option<u64>,
+    /// Wire-level records pooled across all observer tapes.
+    pub anonymity_observations: Option<u64>,
+    /// Honest messages the adversary saw at least once (the denominator
+    /// of both precision figures).
+    pub anonymity_messages_observed: Option<u64>,
+    /// Fraction of observed honest messages whose publisher the
+    /// first-spy (earliest arrival) estimator named correctly.
+    pub anonymity_first_spy_precision_at1: Option<f64>,
+    /// Fraction of observed honest messages whose publisher the
+    /// neighbour-weighted centrality estimator named correctly.
+    pub anonymity_centrality_precision_at1: Option<f64>,
+    /// Mean anonymity-set size over observed messages (distinct
+    /// suspects the observers' first sightings cannot separate).
+    pub anonymity_set_mean_size: Option<f64>,
+    /// Mean Shannon entropy of the pooled arrival-vote distribution,
+    /// bits per observed message (0 = certain attribution).
+    pub anonymity_arrival_entropy_bits: Option<f64>,
 }
 
 /// One parsed value of the flat report schema.
@@ -272,6 +293,11 @@ fn json_opt(v: Option<f64>) -> String {
     v.map(json_f64).unwrap_or_else(|| "null".to_string())
 }
 
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map(|n| n.to_string())
+        .unwrap_or_else(|| "null".to_string())
+}
+
 impl ScenarioReport {
     /// Serializes as a flat JSON object (hand-rolled; the workspace has
     /// no serde data formats). Field order and float formatting are
@@ -362,6 +388,34 @@ impl ScenarioReport {
             "eclipse_victim_delivery_rate",
             json_opt(self.eclipse_victim_delivery_rate),
         );
+        field(
+            "anonymity_observers",
+            json_opt_u64(self.anonymity_observers),
+        );
+        field(
+            "anonymity_observations",
+            json_opt_u64(self.anonymity_observations),
+        );
+        field(
+            "anonymity_messages_observed",
+            json_opt_u64(self.anonymity_messages_observed),
+        );
+        field(
+            "anonymity_first_spy_precision_at1",
+            json_opt(self.anonymity_first_spy_precision_at1),
+        );
+        field(
+            "anonymity_centrality_precision_at1",
+            json_opt(self.anonymity_centrality_precision_at1),
+        );
+        field(
+            "anonymity_set_mean_size",
+            json_opt(self.anonymity_set_mean_size),
+        );
+        field(
+            "anonymity_arrival_entropy_bits",
+            json_opt(self.anonymity_arrival_entropy_bits),
+        );
         let _ = &mut field;
         out.push_str("\n}\n");
         out
@@ -409,6 +463,16 @@ impl ScenarioReport {
                     .map(Some)
                     .map_err(|_| format!("field {key}: expected f64, got {raw}")),
                 other => Err(format!("field {key}: expected f64 or null, got {other:?}")),
+            }
+        };
+        let get_opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match get(key)? {
+                JsonValue::Null => Ok(None),
+                JsonValue::Number(raw) => raw
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| format!("field {key}: expected u64, got {raw}")),
+                other => Err(format!("field {key}: expected u64 or null, got {other:?}")),
             }
         };
         let get_bool = |key: &str| -> Result<bool, String> {
@@ -465,13 +529,20 @@ impl ScenarioReport {
             drain_quiescent: get_bool("drain_quiescent")?,
             drain_pending_events: get_u64("drain_pending_events")?,
             eclipse_victim_delivery_rate: get_opt_f64("eclipse_victim_delivery_rate")?,
+            anonymity_observers: get_opt_u64("anonymity_observers")?,
+            anonymity_observations: get_opt_u64("anonymity_observations")?,
+            anonymity_messages_observed: get_opt_u64("anonymity_messages_observed")?,
+            anonymity_first_spy_precision_at1: get_opt_f64("anonymity_first_spy_precision_at1")?,
+            anonymity_centrality_precision_at1: get_opt_f64("anonymity_centrality_precision_at1")?,
+            anonymity_set_mean_size: get_opt_f64("anonymity_set_mean_size")?,
+            anonymity_arrival_entropy_bits: get_opt_f64("anonymity_arrival_entropy_bits")?,
         })
     }
 
     /// One human line for progress output (stderr; the JSON goes to
     /// stdout/files).
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}: {} peers, delivery {:.3}, p50 {} ms, spam {}/{} contained, {} slashed, {} crashed/{} joined",
             self.scenario,
             self.peers_initial,
@@ -484,7 +555,16 @@ impl ScenarioReport {
             self.spammers_slashed,
             self.peers_crashed,
             self.peers_joined,
-        )
+        );
+        if let (Some(observers), Some(precision)) = (
+            self.anonymity_observers,
+            self.anonymity_first_spy_precision_at1,
+        ) {
+            line.push_str(&format!(
+                ", {observers} observers first-spy p@1 {precision:.3}"
+            ));
+        }
+        line
     }
 }
 
@@ -537,6 +617,13 @@ mod tests {
             drain_quiescent: false,
             drain_pending_events: 42,
             eclipse_victim_delivery_rate: None,
+            anonymity_observers: None,
+            anonymity_observations: None,
+            anonymity_messages_observed: None,
+            anonymity_first_spy_precision_at1: None,
+            anonymity_centrality_precision_at1: None,
+            anonymity_set_mean_size: None,
+            anonymity_arrival_entropy_bits: None,
         }
     }
 
@@ -549,6 +636,11 @@ mod tests {
         assert!(json.contains("\"delivery_rate\": 0.987654"));
         assert!(json.contains("\"propagation_max_ms\": null"));
         assert!(json.contains("\"eclipse_victim_delivery_rate\": null"));
+        // the anonymity section is always present, null without a
+        // surveillance adversary
+        assert!(json.contains("\"anonymity_observers\": null"));
+        assert!(json.contains("\"anonymity_first_spy_precision_at1\": null"));
+        assert!(json.contains("\"anonymity_arrival_entropy_bits\": null"));
         // no trailing comma before the closing brace
         assert!(!json.contains(",\n}"));
     }
@@ -588,6 +680,25 @@ mod tests {
         let parsed = ScenarioReport::from_json(&json).expect("parses escaped");
         assert_eq!(parsed.to_json(), json);
         assert_eq!(parsed.scenario, weird.scenario);
+    }
+
+    #[test]
+    fn anonymity_section_round_trips_when_populated() {
+        let mut report = dummy();
+        report.anonymity_observers = Some(25);
+        report.anonymity_observations = Some(12_345);
+        report.anonymity_messages_observed = Some(40);
+        report.anonymity_first_spy_precision_at1 = Some(0.675);
+        report.anonymity_centrality_precision_at1 = Some(0.725);
+        report.anonymity_set_mean_size = Some(3.4);
+        report.anonymity_arrival_entropy_bits = Some(1.58496);
+        let json = report.to_json();
+        assert!(json.contains("\"anonymity_observers\": 25"));
+        assert!(json.contains("\"anonymity_first_spy_precision_at1\": 0.675000"));
+        let parsed = ScenarioReport::from_json(&json).expect("parses");
+        assert_eq!(parsed.to_json(), json);
+        assert_eq!(parsed.anonymity_messages_observed, Some(40));
+        assert_eq!(parsed.anonymity_set_mean_size, Some(3.4));
     }
 
     #[test]

@@ -115,6 +115,27 @@ pub struct EclipseSpec {
     pub attackers: usize,
 }
 
+/// The colluding passive-surveillance adversary: a fraction of the
+/// honest relay population is secretly controlled by one adversary who
+/// records, at each controlled node, every incoming message forward as
+/// `(message_id, arrival_ms, previous_hop)`. After the run, attribution
+/// estimators (first-spy / earliest-arrival, neighbour-weighted
+/// centrality) pool those tapes and guess each message's publisher —
+/// the deanonymization attack surface analysed in "Who started this
+/// rumor?" (Bellet et al.) and "On the Inherent Anonymity of Gossiping"
+/// (Guerraoui et al.), see `PAPERS.md`.
+///
+/// Observers stay protocol-honest (they relay, graft and gossip
+/// normally) but are excluded from the honest publisher pool — the
+/// adversary does not publish the traffic it is trying to attribute.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurveillanceSpec {
+    /// Fraction of the initial honest population the adversary controls,
+    /// in `(0, 1]`. The observer count is `round(fraction · honest)`,
+    /// clamped to leave at least two honest non-observers.
+    pub observer_fraction: f64,
+}
+
 /// A device class for heterogeneous-network scenarios: a name, a proof
 /// verification cost (the dominant validation cost, §IV: ≈30 ms on an
 /// iPhone 8) and a relative share of the honest population.
@@ -156,6 +177,17 @@ pub struct ScenarioSpec {
     pub churn: Vec<ChurnEvent>,
     /// Targeted eclipse attack, if any.
     pub eclipse: Option<EclipseSpec>,
+    /// Colluding passive-surveillance adversary, if any. Enables the
+    /// `anonymity_*` section of the report.
+    pub surveillance: Option<SurveillanceSpec>,
+    /// Source-anonymity countermeasure: publishers hold each first-hop
+    /// copy of their own messages back for an independent uniform delay
+    /// in `[0, publish_jitter_ms]`, drawn from the node's deterministic
+    /// RNG stream (so the determinism contract is untouched). `0`
+    /// disables the countermeasure. Costs propagation latency, buys
+    /// attribution resistance — the trade-off curve the gossip-privacy
+    /// papers predict.
+    pub publish_jitter_ms: u64,
     /// Device mix; empty = every peer uses the default cost model.
     pub devices: Vec<DeviceClassSpec>,
     /// Batched-validation pipeline knobs for every relay (`max_batch`,
@@ -203,6 +235,8 @@ impl ScenarioSpec {
             spam: None,
             churn: Vec::new(),
             eclipse: None,
+            surveillance: None,
+            publish_jitter_ms: 0,
             devices: Vec::new(),
             pipeline: None,
             threads: 1,
@@ -241,6 +275,19 @@ impl ScenarioSpec {
         depth.min(20)
     }
 
+    /// Number of colluding observers the surveillance adversary controls:
+    /// `round(observer_fraction · honest)`, at least 1, leaving at least
+    /// two honest non-observers to publish. 0 without surveillance.
+    pub fn observer_count(&self) -> usize {
+        match self.surveillance {
+            None => 0,
+            Some(s) => {
+                let wanted = (self.honest as f64 * s.observer_fraction).round() as usize;
+                wanted.clamp(1, self.honest.saturating_sub(2))
+            }
+        }
+    }
+
     /// Simulated end time: last scheduled event plus the drain window.
     pub fn duration_ms(&self) -> u64 {
         let last_traffic = self.traffic.start_ms
@@ -273,6 +320,16 @@ impl ScenarioSpec {
         }
         if let Some(s) = self.spam {
             assert!(s.spammers >= 1 && s.burst >= 2, "spam needs a real burst");
+        }
+        if let Some(s) = self.surveillance {
+            assert!(
+                s.observer_fraction > 0.0 && s.observer_fraction <= 1.0,
+                "observer fraction out of range"
+            );
+            assert!(
+                self.honest >= 4,
+                "surveillance needs observers plus honest publishers"
+            );
         }
         if let Some(p) = self.pipeline {
             assert!(p.max_batch >= 1, "pipeline batch must hold a message");
@@ -331,6 +388,37 @@ mod tests {
             action: ChurnAction::Crash { peers: 1 },
         });
         assert_eq!(spec.duration_ms(), 65_000);
+    }
+
+    #[test]
+    fn observer_count_scales_and_leaves_publishers() {
+        let mut spec = ScenarioSpec::baseline(100, 1);
+        assert_eq!(spec.observer_count(), 0);
+        spec.surveillance = Some(SurveillanceSpec {
+            observer_fraction: 0.10,
+        });
+        assert_eq!(spec.observer_count(), 10);
+        spec.validate();
+        // even full collusion leaves two honest publishers
+        spec.surveillance = Some(SurveillanceSpec {
+            observer_fraction: 1.0,
+        });
+        assert_eq!(spec.observer_count(), 98);
+        // a tiny fraction still fields at least one observer
+        spec.surveillance = Some(SurveillanceSpec {
+            observer_fraction: 0.001,
+        });
+        assert_eq!(spec.observer_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "observer fraction out of range")]
+    fn zero_observer_fraction_rejected() {
+        let mut spec = ScenarioSpec::baseline(10, 1);
+        spec.surveillance = Some(SurveillanceSpec {
+            observer_fraction: 0.0,
+        });
+        spec.validate();
     }
 
     #[test]

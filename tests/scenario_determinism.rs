@@ -60,3 +60,13 @@ fn mass_churn_is_deterministic() {
 fn epoch_boundary_race_is_deterministic() {
     assert_deterministic(builtin("epoch_boundary_race", 16, 96).unwrap());
 }
+
+#[test]
+fn passive_surveillance_is_deterministic() {
+    assert_deterministic(builtin("passive_surveillance", 16, 97).unwrap());
+}
+
+#[test]
+fn deanonymization_sweep_is_deterministic() {
+    assert_deterministic(builtin("deanonymization_sweep", 16, 98).unwrap());
+}
