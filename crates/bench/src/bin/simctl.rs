@@ -24,10 +24,15 @@
 //! auto-detect; any value yields byte-identical reports), and
 //! `--progress` prints per-simulated-second throughput to stderr so long
 //! 10k-node runs are not silent. See `docs/SCENARIOS.md`.
+//!
+//! When a run's drain hard-stops with more events queued than the
+//! steady-state timer load of a live mesh, `simctl` prints a warning and
+//! exits nonzero (after emitting the report): the network did not
+//! settle, so downstream consumers should not trust the tail metrics.
 
 use wakurln_scenarios::{
     builtin, run_scenario, run_scenario_with_progress, ChurnAction, ChurnEvent, Progress,
-    ScenarioSpec, SpamSpec, SurveillanceSpec, BUILTIN_NAMES,
+    ScenarioReport, ScenarioSpec, SpamSpec, SurveillanceSpec, BUILTIN_NAMES,
 };
 
 fn usage() -> ! {
@@ -172,6 +177,32 @@ fn emit(json: &str, out_path: Option<&str>) {
     }
 }
 
+/// How many events may legitimately sit in the queue when the drain's
+/// hard stop fires: a live mesh keeps one armed heartbeat per peer (two
+/// with the pipeline's flush timer) forever, plus headroom for timers
+/// caught mid-rearm. Pending events beyond this mean the network was cut
+/// off while real work — not steady-state timers — was still queued.
+fn hard_stop_allowance(report: &ScenarioReport, spec: &ScenarioSpec) -> u64 {
+    let live = report.peers_final_live;
+    let timers_per_peer = if spec.pipeline.is_some() { 2 } else { 1 };
+    live * timers_per_peer + live / 10 + 16
+}
+
+/// Warns on stderr when the drain hard-stopped with more than the
+/// steady-state timer load still queued. Returns whether it did.
+fn warn_on_hard_stop(report: &ScenarioReport, spec: &ScenarioSpec) -> bool {
+    let allowance = hard_stop_allowance(report, spec);
+    if report.drain_quiescent || report.drain_pending_events <= allowance {
+        return false;
+    }
+    eprintln!(
+        "warning: {} drain hard-stopped with {} events still queued \
+         (steady-state allowance {} for {} live peers) — the network did not settle",
+        report.scenario, report.drain_pending_events, allowance, report.peers_final_live,
+    );
+    true
+}
+
 /// Runs one spec, optionally streaming a per-simulated-second progress
 /// line to stderr (throttled to roughly one line per wall-second).
 fn execute(spec: &ScenarioSpec, progress: bool) -> wakurln_scenarios::ScenarioReport {
@@ -314,6 +345,9 @@ fn main() {
         let report = execute(&spec, progress);
         eprintln!("{}", report.summary_line());
         emit(&report.to_json(), out_path.as_deref());
+        if warn_on_hard_stop(&report, &spec) {
+            std::process::exit(1);
+        }
         return;
     }
 
@@ -322,6 +356,7 @@ fn main() {
     // --adversary-fraction was given)
     let total = nodes.len() * seeds.len() * adversary_fractions.len();
     let mut reports = Vec::with_capacity(total);
+    let mut hard_stopped = false;
     for n in &nodes {
         for s in &seeds {
             for f in &adversary_fractions {
@@ -338,6 +373,7 @@ fn main() {
                 );
                 let report = execute(&spec, progress);
                 eprintln!("  {}", report.summary_line());
+                hard_stopped |= warn_on_hard_stop(&report, &spec);
                 reports.push(report);
             }
         }
@@ -359,4 +395,7 @@ fn main() {
     }
     json.push_str("]\n");
     emit(&json, out_path.as_deref());
+    if hard_stopped {
+        std::process::exit(1);
+    }
 }

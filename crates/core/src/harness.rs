@@ -110,6 +110,14 @@ pub struct Testbed {
     submitted_slashes: HashSet<[u8; 32]>,
     /// Processed events, kept so late-joining peers can replay history.
     replay_log: Vec<ReplayEvent>,
+    /// Per-peer resync position: how many `replay_log` entries the peer
+    /// has applied. Live peers track the log head; a crashed peer's
+    /// cursor freezes, and a cold-restarted peer's rewinds to zero.
+    replay_cursor: Vec<usize>,
+    /// Peers restarted but not yet resynced with the group. They are
+    /// excluded from event fan-out (their replay happens in order from
+    /// the cursor) and from slash submission until the resync lands.
+    awaiting_resync: Vec<bool>,
     rng: StdRng,
 }
 
@@ -213,6 +221,8 @@ impl Testbed {
             proving_key,
             submitted_slashes: HashSet::new(),
             replay_log: Vec::new(),
+            replay_cursor: vec![0; config.n_peers],
+            awaiting_resync: vec![false; config.n_peers],
             rng,
         };
         // mine the registrations and sync everyone
@@ -294,6 +304,8 @@ impl Testbed {
         }
         let id = self.net.add_node(node);
         let peer = id.0;
+        self.replay_cursor.push(self.replay_log.len());
+        self.awaiting_resync.push(false);
 
         let address = Address::from_label(&format!("peer-{peer}-late-{}", self.rng.gen::<u64>()));
         self.chain.fund(address, 100 * self.config.stake);
@@ -339,6 +351,103 @@ impl Testbed {
         self.net.remove_node(NodeId(peer))
     }
 
+    /// Restarts a crashed peer — the recovery half of the fault model.
+    ///
+    /// The simulated process comes back up in the **same slot** (stable
+    /// `NodeId`, continuous per-node metrics, same deterministic RNG
+    /// stream — see `Network::restore_node`). Its gossip layer re-runs
+    /// `on_start`: Subscribe is re-announced to every known peer and the
+    /// heartbeat re-arms, so re-grafting into the mesh proceeds through
+    /// the normal degree-repair path, bounded by the PRUNE backoff
+    /// window when neighbours are full.
+    ///
+    /// `warm` selects the state model:
+    ///
+    /// * **warm** — the membership tree, root window and nullifier map
+    ///   survived on disk; the peer only replays the contract events it
+    ///   missed while down (its replay cursor froze at crash time).
+    /// * **cold** — the disk was lost; tree and validator state reset to
+    ///   the empty group ([`RlnRelayNode::reset_for_cold_restart`]) and
+    ///   the replay cursor rewinds to zero for a full §III group
+    ///   resynchronization from genesis.
+    ///
+    /// Either way the peer is flagged `awaiting_resync`: it is excluded
+    /// from live event fan-out and slash submission until
+    /// [`Testbed::attempt_resyncs`] replays its backlog — which is tried
+    /// immediately, and retried each run slice while the registration
+    /// contract is unreachable (counted as `resync_retries`).
+    ///
+    /// Returns `false` (and does nothing) when the peer was not down.
+    pub fn restart_peer(&mut self, peer: usize, warm: bool) -> bool {
+        if !self.net.restore_node(NodeId(peer)) {
+            return false;
+        }
+        if !warm {
+            self.net.node_mut(NodeId(peer)).reset_for_cold_restart();
+            self.replay_cursor[peer] = 0;
+        }
+        self.awaiting_resync[peer] = true;
+        self.net.metrics_mut().count("peer_restarts", 1);
+        self.attempt_resyncs();
+        true
+    }
+
+    /// Tries to complete the group resync of every restarted peer:
+    /// replays `replay_log[cursor..]` (registration bursts at the exact
+    /// granularity live peers applied them, slashings with their
+    /// witnesses) into the peer's light tree, then clears the flag. While
+    /// the registration contract is in outage the sync source is
+    /// unreachable: each pending peer counts one `resync_retries` and
+    /// stays flagged for the next slice — the bounded-retry loop the
+    /// fault scenarios measure.
+    ///
+    /// Runs automatically inside [`Testbed::run`] after each event-sync
+    /// slice; public so tests can drive recovery without advancing time.
+    pub fn attempt_resyncs(&mut self) {
+        for peer in 0..self.net.len() {
+            if !self.awaiting_resync[peer] || !self.net.is_active(NodeId(peer)) {
+                continue;
+            }
+            if self.chain.registration_outage_active() {
+                self.net.metrics_mut().count("resync_retries", 1);
+                continue;
+            }
+            let cursor = self.replay_cursor[peer];
+            let node = self.net.node_mut(NodeId(peer));
+            for event in &self.replay_log[cursor..] {
+                match event {
+                    ReplayEvent::RegisteredBurst { commitments } => {
+                        node.apply_registrations(commitments)
+                            .expect("resync registrations");
+                    }
+                    ReplayEvent::Slashed {
+                        index,
+                        commitment,
+                        witness,
+                    } => {
+                        node.apply_slashing(*index, *commitment, witness)
+                            .expect("resync slashing");
+                    }
+                }
+            }
+            self.replay_cursor[peer] = self.replay_log.len();
+            self.awaiting_resync[peer] = false;
+            self.net.metrics_mut().count("peer_resyncs", 1);
+        }
+    }
+
+    /// Number of restarted peers whose group resync has not completed.
+    pub fn awaiting_resync_count(&self) -> usize {
+        self.awaiting_resync.iter().filter(|f| **f).count()
+    }
+
+    /// A peer's current mesh degree on the shared pub/sub topic (the
+    /// fault scenarios' time-to-remesh probe). Crashed peers report their
+    /// frozen pre-crash mesh.
+    pub fn mesh_size(&self, peer: usize) -> usize {
+        self.net.node(NodeId(peer)).mesh_size()
+    }
+
     /// Marks a peer as a censorship-eclipse adversary (see
     /// [`RlnRelayNode::set_censor`]).
     pub fn set_censor(&mut self, peer: usize, censor: bool) {
@@ -369,6 +478,7 @@ impl Testbed {
             self.net.run_until(next);
             self.chain.advance_to(next / 1000);
             self.sync_chain_events();
+            self.attempt_resyncs();
             self.submit_detected_slashes();
         }
     }
@@ -473,14 +583,32 @@ impl Testbed {
         // tree — the dominant setup cost at 10k nodes (n peers x n-leaf
         // burst), and pure per-node work: fan it out over the scheduler's
         // worker threads (crashed peers stop syncing; the store skips
-        // them)
-        self.net.for_each_node_par(|_, node| {
+        // them; restarted peers still mid-resync get the burst later via
+        // their ordered replay instead)
+        let awaiting = &self.awaiting_resync;
+        self.net.for_each_node_par(|id, node| {
+            if awaiting[id.0] {
+                return;
+            }
             node.apply_registrations(burst)
                 .expect("peer registration sync");
         });
         self.replay_log.push(ReplayEvent::RegisteredBurst {
             commitments: std::mem::take(burst),
         });
+        self.advance_live_cursors();
+    }
+
+    /// Marks every peer that just applied the newest replay event as
+    /// caught up with the log head. Crashed or resync-pending peers keep
+    /// their frozen cursor — the backlog they will replay on recovery.
+    fn advance_live_cursors(&mut self) {
+        let head = self.replay_log.len();
+        for peer in 0..self.net.len() {
+            if self.net.is_active(NodeId(peer)) && !self.awaiting_resync[peer] {
+                self.replay_cursor[peer] = head;
+            }
+        }
     }
 
     fn sync_chain_events(&mut self) {
@@ -507,7 +635,7 @@ impl Testbed {
                         .expect("witness for slashed member");
                     self.mirror.remove(index).expect("mirror removal");
                     for i in 0..self.net.len() {
-                        if !self.net.is_active(NodeId(i)) {
+                        if !self.net.is_active(NodeId(i)) || self.awaiting_resync[i] {
                             continue;
                         }
                         self.net
@@ -520,6 +648,7 @@ impl Testbed {
                         commitment,
                         witness,
                     });
+                    self.advance_live_cursors();
                 }
                 ChainEvent::TreeRootUpdated { .. } | ChainEvent::MessagePosted { .. } => {}
             }
@@ -529,8 +658,8 @@ impl Testbed {
 
     fn submit_detected_slashes(&mut self) {
         for i in 0..self.net.len() {
-            if !self.net.is_active(NodeId(i)) {
-                continue; // a dead peer submits nothing
+            if !self.net.is_active(NodeId(i)) || self.awaiting_resync[i] {
+                continue; // a dead or still-resyncing peer submits nothing
             }
             let detections = self
                 .net
@@ -686,6 +815,143 @@ mod churn_tests {
         tb.run(40_000, 1_000);
         assert!(!tb.is_member(4), "spammer survived network churn");
         assert_eq!(tb.active_members(), 9);
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+
+    fn testbed(seed: u64) -> Testbed {
+        Testbed::build(TestbedConfig {
+            n_peers: 8,
+            tree_depth: 10,
+            degree: 4,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn restart_of_a_running_peer_is_a_no_op() {
+        let mut tb = testbed(51);
+        tb.run(5_000, 1_000);
+        assert!(!tb.restart_peer(2, true));
+        assert_eq!(tb.awaiting_resync_count(), 0);
+        assert_eq!(tb.net.metrics().counter("peer_restarts"), 0);
+    }
+
+    #[test]
+    fn warm_restart_replays_only_the_missed_events() {
+        let mut tb = testbed(52);
+        tb.run(8_000, 1_000);
+        assert!(tb.crash_peer(3));
+        // history moves on while 3 is down: a spammer gets slashed and a
+        // late joiner registers — both land in the replay log
+        tb.publish_spam(5, b"down-a").unwrap();
+        tb.publish_spam(5, b"down-b").unwrap();
+        tb.run(30_000, 1_000);
+        assert!(!tb.is_member(5), "spammer not slashed while 3 was down");
+        let newbie = tb.add_peer(&[0, 1, 2]);
+        tb.run(10_000, 1_000);
+
+        assert!(tb.restart_peer(3, true));
+        assert!(!tb.restart_peer(3, true), "double restart must be no-op");
+        // no contract outage: the resync lands immediately
+        assert_eq!(tb.awaiting_resync_count(), 0);
+        assert_eq!(
+            tb.net.node(NodeId(3)).membership_root(),
+            tb.net.node(NodeId(0)).membership_root(),
+            "restarted peer's root disagrees after resync"
+        );
+        assert!(tb.is_member(3), "warm restart lost own membership");
+
+        // the mesh re-forms and the peer hears new traffic
+        tb.run(20_000, 1_000);
+        tb.publish(newbie, b"after the storm").unwrap();
+        tb.run(20_000, 1_000);
+        let got = tb
+            .net
+            .node(NodeId(3))
+            .app_deliveries()
+            .iter()
+            .any(|(m, _)| m == b"after the storm");
+        assert!(got, "restarted peer never rejoined the mesh");
+        assert_eq!(tb.net.metrics().counter("peer_restarts"), 1);
+        assert_eq!(tb.net.metrics().counter("peer_resyncs"), 1);
+    }
+
+    #[test]
+    fn cold_restart_rebuilds_membership_from_genesis() {
+        let mut tb = testbed(53);
+        tb.run(8_000, 1_000);
+        assert!(tb.crash_peer(4));
+        tb.run(5_000, 1_000);
+        assert!(tb.restart_peer(4, false));
+        assert_eq!(tb.awaiting_resync_count(), 0);
+        // the wiped tree replayed the full history, including its own
+        // registration — membership and root both restored
+        assert!(tb.is_member(4), "cold restart did not re-register own leaf");
+        assert_eq!(
+            tb.net.node(NodeId(4)).membership_root(),
+            tb.net.node(NodeId(0)).membership_root()
+        );
+        // nullifier map was wiped with the disk
+        assert_eq!(tb.net.node(NodeId(4)).validator().nullifier_map_bytes(), 0);
+        // and the peer can publish again (rate-limiter memory is durable,
+        // so wait out the epoch it may have published in)
+        tb.run(15_000, 1_000);
+        tb.publish(4, b"back from the dead").unwrap();
+        tb.run(20_000, 1_000);
+        assert!(tb.delivery_count(b"back from the dead", 4) >= 6);
+    }
+
+    #[test]
+    fn resync_retries_under_contract_outage_then_completes() {
+        let mut tb = testbed(54);
+        tb.run(8_000, 1_000);
+        assert!(tb.crash_peer(2));
+        // registration contract goes dark until t = 20 s
+        tb.chain.set_registration_outage(20);
+        assert!(tb.restart_peer(2, false));
+        // the immediate attempt and each subsequent slice count retries
+        assert_eq!(tb.awaiting_resync_count(), 1);
+        tb.run(5_000, 1_000);
+        assert_eq!(tb.awaiting_resync_count(), 1, "resync landed mid-outage");
+        let retries = tb.net.metrics().counter("resync_retries");
+        assert!(retries >= 2, "expected repeated retries, saw {retries}");
+        // outage lifts; the next slice completes the resync
+        tb.run(10_000, 1_000);
+        assert_eq!(tb.awaiting_resync_count(), 0);
+        assert!(tb.is_member(2));
+        assert_eq!(
+            tb.net.node(NodeId(2)).membership_root(),
+            tb.net.node(NodeId(0)).membership_root()
+        );
+    }
+
+    #[test]
+    fn peer_mid_resync_is_skipped_by_live_fanout_without_losing_events() {
+        let mut tb = testbed(55);
+        tb.run(8_000, 1_000);
+        assert!(tb.crash_peer(6));
+        tb.chain.set_registration_outage(40);
+        assert!(tb.restart_peer(6, true));
+        // while 6 is pending, new history arrives — a spammer is slashed
+        // (slashing is unaffected by the *registration* outage). The
+        // event must reach 6 via its ordered replay, not the live fan-out
+        tb.publish_spam(1, b"mid-a").unwrap();
+        tb.publish_spam(1, b"mid-b").unwrap();
+        tb.run(20_000, 1_000);
+        assert!(!tb.is_member(1), "spammer not slashed mid-outage");
+        assert_eq!(tb.awaiting_resync_count(), 1);
+        tb.run(20_000, 1_000); // outage lifts at t = 40 s
+        assert_eq!(tb.awaiting_resync_count(), 0);
+        assert_eq!(
+            tb.net.node(NodeId(6)).membership_root(),
+            tb.net.node(NodeId(0)).membership_root(),
+            "replayed backlog diverged from live fan-out"
+        );
     }
 }
 

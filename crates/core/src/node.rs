@@ -4,7 +4,7 @@ use crate::codec::encode_signal;
 use crate::epoch::EpochScheme;
 use crate::validator::RlnValidator;
 use wakurln_crypto::field::Fr;
-use wakurln_crypto::merkle::{MerkleError, MerkleProof, SyncedPathTree, EMPTY_LEAF};
+use wakurln_crypto::merkle::{zero_hashes, MerkleError, MerkleProof, SyncedPathTree, EMPTY_LEAF};
 use wakurln_gossipsub::{GossipsubConfig, MessageId, Rpc, ScoringConfig, Topic};
 use wakurln_netsim::{Context, Node, NodeId};
 use wakurln_relay::{WakuMessage, WakuRelayNode};
@@ -351,6 +351,32 @@ impl RlnRelayNode {
     /// Light-tree storage footprint in bytes (E3).
     pub fn membership_storage_bytes(&self) -> usize {
         self.tree.storage_bytes()
+    }
+
+    /// Current mesh degree on the shared pub/sub topic — the recovery
+    /// metric the fault scenarios sample to measure time-to-remesh after
+    /// a restart or partition heal.
+    pub fn mesh_size(&self) -> usize {
+        self.relay
+            .gossipsub()
+            .mesh_peers(self.relay.pubsub_topic())
+            .len()
+    }
+
+    /// **Cold-restart** reset: the simulated process came back with its
+    /// disk wiped — the membership tree collapses to the empty group and
+    /// the validator forgets its root window, nullifier map and pipeline
+    /// backlog (see [`RlnValidator::reset_state`]). The identity keypair
+    /// and the rate-limiter memory (`last_published_epoch`) survive: both
+    /// model durable secrets an honest operator never risks — losing the
+    /// limiter state could make an honest restart double-signal and burn
+    /// its own stake. The harness follows this with a full group resync
+    /// (event replay from genesis), which restores membership through the
+    /// normal `register_own` path.
+    pub fn reset_for_cold_restart(&mut self) {
+        let depth = self.tree.depth();
+        self.tree = SyncedPathTree::new(depth).expect("valid depth");
+        self.relay.validator_mut().reset_state(zero_hashes()[depth]);
     }
 }
 

@@ -173,6 +173,26 @@ impl RlnValidator {
         }
     }
 
+    /// Crash-recovery reset (a **cold** restart): drops every piece of
+    /// in-memory validation state — the accepted-roots window collapses
+    /// to `initial_root`, the nullifier map is emptied, undelivered
+    /// detections and any pipeline backlog are discarded. Cumulative
+    /// [`ValidationStats`] survive: they model the operator's metrics
+    /// store, and the resilience reports compare pre- and post-crash
+    /// counts. The subsequent group resync (event replay) rebuilds the
+    /// root window to match the live network's.
+    pub fn reset_state(&mut self, initial_root: Fr) {
+        self.accepted_roots.clear();
+        self.accepted_roots.push_back(initial_root);
+        self.nullifier_map = NullifierMap::new();
+        self.detections.clear();
+        self.last_cost = 0;
+        if let Some(pipeline) = &self.pipeline {
+            let config = *pipeline.config();
+            self.pipeline = Some(Box::new(PipelineState::new(config)));
+        }
+    }
+
     /// Validation statistics so far.
     pub fn stats(&self) -> ValidationStats {
         self.stats

@@ -107,6 +107,10 @@ pub struct Chain {
     tree_baseline: OnChainTreeContract,
     board: SignalBoardContract,
     events: Vec<LoggedEvent>,
+    /// Fault injection: until this timestamp (seconds), `Register` calls
+    /// revert at mining time — modelling a registration-service outage
+    /// (RPC endpoint down, contract paused). 0 = no outage.
+    registration_closed_until: u64,
 }
 
 impl Chain {
@@ -132,7 +136,23 @@ impl Chain {
                 .expect("valid tree depth"),
             board: SignalBoardContract::new(),
             events: Vec::new(),
+            registration_closed_until: 0,
         }
+    }
+
+    /// Opens a registration-contract outage window: every `Register`
+    /// transaction mined strictly before `until` (seconds) reverts (and
+    /// refunds its escrowed stake through the normal revert path).
+    /// Resync/recovery layers observe the outage through
+    /// [`Chain::registration_outage_active`] and retry after it lifts.
+    pub fn set_registration_outage(&mut self, until: u64) {
+        self.registration_closed_until = until;
+    }
+
+    /// Whether the registration contract is currently inside an injected
+    /// outage window.
+    pub fn registration_outage_active(&self) -> bool {
+        self.time < self.registration_closed_until
     }
 
     /// The configuration this chain runs with.
@@ -246,6 +266,9 @@ impl Chain {
             meter.charge(gas::TX_BASE);
             let mut events = Vec::new();
             let outcome: Result<(), String> = match tx.call.clone() {
+                CallData::Register { .. } if timestamp < self.registration_closed_until => {
+                    Err("registration contract outage".to_string())
+                }
                 CallData::Register { commitment } => self
                     .membership
                     .register(tx.from, tx.value, commitment, &mut meter, &mut events)
@@ -400,6 +423,51 @@ mod tests {
         assert_eq!(chain.membership().active_count(), 0);
         assert_eq!(chain.balance_of(slasher), slasher_before + ETHER / 2);
         assert_eq!(chain.balance_of(Address::BURN), ETHER / 2);
+    }
+
+    #[test]
+    fn registration_outage_reverts_and_refunds_until_it_lifts() {
+        let (mut chain, user) = funded_chain();
+        chain.set_registration_outage(30);
+        assert!(chain.registration_outage_active());
+        let before = chain.balance_of(user);
+        chain
+            .submit(
+                user,
+                ETHER,
+                CallData::Register {
+                    commitment: poseidon::hash1(Fr::from_u64(9)),
+                },
+            )
+            .unwrap();
+        // block at t=12: inside the outage — reverted, stake refunded
+        let receipts = chain.advance_to(12);
+        assert!(matches!(receipts[0].status, TxStatus::Reverted(_)));
+        assert_eq!(chain.membership().active_count(), 0);
+        assert_eq!(chain.balance_of(user), before);
+        // retry after the window lifts (block at t=36 ≥ 30): succeeds
+        chain.advance_to(30);
+        assert!(!chain.registration_outage_active());
+        chain
+            .submit(
+                user,
+                ETHER,
+                CallData::Register {
+                    commitment: poseidon::hash1(Fr::from_u64(9)),
+                },
+            )
+            .unwrap();
+        let receipts = chain.advance_to(36);
+        assert_eq!(receipts[0].status, TxStatus::Success);
+        assert_eq!(chain.membership().active_count(), 1);
+        // slashing is unaffected by a *registration* outage
+        chain.set_registration_outage(10_000);
+        let sk = Fr::from_u64(9);
+        chain
+            .submit(user, 0, CallData::Slash { secret: sk })
+            .unwrap();
+        let receipts = chain.advance_to(48);
+        assert_eq!(receipts[0].status, TxStatus::Success);
     }
 
     #[test]

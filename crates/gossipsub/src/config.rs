@@ -43,6 +43,14 @@ pub struct GossipsubConfig {
     pub publish_jitter_ms: u64,
     /// Whether v1.1 peer scoring is active.
     pub scoring_enabled: bool,
+    /// Backoff window after a PRUNE, milliseconds: a peer that pruned us
+    /// (typically because its mesh sits at `D_hi`) is not re-grafted
+    /// until the window expires, instead of on every heartbeat — the
+    /// v1.1 `PruneBackoff`. Without it two nodes whose meshes disagree
+    /// about capacity ping-pong GRAFT → PRUNE control frames once per
+    /// heartbeat forever. `0` disables the backoff (the pre-v1.1
+    /// behaviour the regression test pins down).
+    pub prune_backoff_ms: u64,
     /// Liveness timeout: a mesh peer not heard from for this long is
     /// presumed crashed and pruned from the mesh and the peer-topic
     /// tables (the simulator has no connection teardown notifications, so
@@ -64,6 +72,7 @@ impl Default for GossipsubConfig {
             seen_ttl_ms: 120_000,
             max_iwant_per_heartbeat: 64,
             publish_jitter_ms: 0,
+            prune_backoff_ms: 60_000,
             scoring_enabled: true,
             peer_timeout_ms: 30_000,
         }

@@ -192,6 +192,11 @@ pub struct GossipsubNode<V: Validator> {
     /// behind churn repair (crashed peers go quiet and are pruned after
     /// `peer_timeout_ms`).
     last_heard: HashMap<NodeId, u64>,
+    /// Per-topic graft backoff: peers that pruned us, with the time (ms)
+    /// until which the heartbeat graft step must not retry them
+    /// (`config.prune_backoff_ms` — the v1.1 `PruneBackoff`). Expired
+    /// entries are swept every heartbeat.
+    graft_backoff: HashMap<Topic, HashMap<NodeId, u64>>,
     /// Messages whose validation verdict is deferred inside a batching
     /// validator, keyed by the validator's ticket. Delivery and
     /// forwarding complete when a flush releases the verdict. The id is
@@ -225,6 +230,7 @@ impl<V: Validator> GossipsubNode<V> {
             observer: false,
             observations: Vec::new(),
             last_heard: HashMap::new(),
+            graft_backoff: HashMap::new(),
             pending_validation: HashMap::new(),
         }
     }
@@ -326,6 +332,30 @@ impl<V: Validator> GossipsubNode<V> {
     /// The peer-score table (diagnostics; baselines read attacker scores).
     pub fn peer_score(&self) -> &PeerScore {
         &self.score
+    }
+
+    /// Entries currently in the seen-cache (bounded by `seen_ttl_ms` GC;
+    /// soak tests hold the long-horizon memory contract to this).
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Messages currently held across the mcache's history windows
+    /// (bounded by `history_length` shifts).
+    pub fn mcache_len(&self) -> usize {
+        self.mcache.len()
+    }
+
+    /// Own-published ids still tracked for jittered IWANT serving
+    /// (GC'd with the seen-cache; empty whenever `publish_jitter_ms` is 0).
+    pub fn own_published_len(&self) -> usize {
+        self.own_published.len()
+    }
+
+    /// Messages awaiting a deferred validation verdict (bounded by the
+    /// batching validator's flush interval).
+    pub fn pending_validation_len(&self) -> usize {
+        self.pending_validation.len()
     }
 
     /// The validator (e.g. to read RLN spam-detection state).
@@ -589,6 +619,14 @@ impl<V: Validator> GossipsubNode<V> {
         self.iwant_served.clear();
         self.liveness_sweep(ctx);
 
+        // sweep expired graft backoffs so the tables stay bounded by the
+        // set of peers that pruned us within the last backoff window
+        let now = ctx.now();
+        self.graft_backoff.retain(|_, peers| {
+            peers.retain(|_, until| *until > now);
+            !peers.is_empty()
+        });
+
         for topic in self.subscriptions.clone() {
             let mesh = self.mesh.entry(topic.clone()).or_default();
 
@@ -610,6 +648,8 @@ impl<V: Validator> GossipsubNode<V> {
             // graft up to D when below D_lo
             if mesh.len() < self.config.mesh_n_low {
                 let need = self.config.mesh_n - mesh.len();
+                let backoff = self.graft_backoff.get(&topic);
+                let mut suppressed = 0u64;
                 let mut candidates: Vec<NodeId> = self
                     .peer_topics
                     .get(&topic)
@@ -620,9 +660,23 @@ impl<V: Validator> GossipsubNode<V> {
                             .filter(|p| {
                                 !self.config.scoring_enabled || !self.score.should_evict(*p)
                             })
+                            .filter(|p| {
+                                // a peer that pruned us stays off-limits
+                                // until its backoff window expires
+                                let held = backoff
+                                    .and_then(|peers| peers.get(p))
+                                    .is_some_and(|until| *until > now);
+                                if held {
+                                    suppressed += 1;
+                                }
+                                !held
+                            })
                             .collect()
                     })
                     .unwrap_or_default();
+                if suppressed > 0 {
+                    ctx.count("graft_suppressed_backoff", suppressed);
+                }
                 candidates.shuffle(ctx.rng());
                 for peer in candidates.into_iter().take(need) {
                     mesh.insert(peer);
@@ -753,6 +807,16 @@ impl<V: Validator> Node for GossipsubNode<V> {
             Rpc::Graft(topic) => self.handle_graft(ctx, from, topic),
             Rpc::Prune(topic) => {
                 self.handle_prune(from, topic.clone());
+                // honour the pruner's capacity decision for a while: the
+                // heartbeat graft step skips this peer until the backoff
+                // expires, instead of re-grafting every heartbeat into a
+                // mesh that just told us it is full
+                if self.config.prune_backoff_ms > 0 {
+                    self.graft_backoff
+                        .entry(topic.clone())
+                        .or_default()
+                        .insert(from, ctx.now() + self.config.prune_backoff_ms);
+                }
                 // graft admission requires the pruner to have heard our
                 // Subscribe, but that announcement is one-shot and can
                 // be lost on a lossy link — without repair the pair
@@ -1151,6 +1215,70 @@ mod tests {
             node.on_message(ctx, NodeId(9), Rpc::Graft(Topic::new("test")));
         });
         assert!(net.node(NodeId(0)).mesh_peers(&topic).contains(&NodeId(9)));
+    }
+
+    /// A (node 0) sits at `D_hi` — its mesh is packed with 12 phantom
+    /// peers — so every graft from B (node 1) is rejected with a PRUNE.
+    /// B is below `D_lo` and A is its only candidate: without the
+    /// backoff, B re-grafts on every heartbeat and the pair exchanges
+    /// GRAFT → PRUNE control frames forever (the regression this test
+    /// pins down); with it, B retries only after `prune_backoff_ms`.
+    fn graft_pingpong_net(prune_backoff_ms: u64) -> Net {
+        let topic = Topic::new("test");
+        let mut net: Net = Network::new(ConstantLatency(10), 27);
+        let config = GossipsubConfig {
+            prune_backoff_ms,
+            ..Default::default()
+        };
+        // A knows nobody (never grafts out); B knows only A
+        for peers in [vec![], vec![NodeId(0)]] {
+            let mut node = GossipsubNode::new(config, ScoringConfig::default(), peers, AcceptAll);
+            node.subscribe(topic.clone());
+            net.add_node(node);
+        }
+        // pack A's mesh with phantom subscribers up to D_hi
+        for p in 10..(10 + config.mesh_n_high) {
+            net.invoke(NodeId(0), |node, ctx| {
+                node.on_message(ctx, NodeId(p), Rpc::Subscribe(Topic::new("test")));
+                node.on_message(ctx, NodeId(p), Rpc::Graft(Topic::new("test")));
+            });
+        }
+        assert_eq!(
+            net.node(NodeId(0)).mesh_peers(&topic).len(),
+            config.mesh_n_high
+        );
+        net
+    }
+
+    #[test]
+    fn rejected_graft_backs_off_instead_of_retrying_every_heartbeat() {
+        let mut net = graft_pingpong_net(GossipsubConfig::default().prune_backoff_ms);
+        // stay under peer_timeout_ms so A's phantom mesh is not swept
+        net.run_until(20_000);
+        let rejected = net.metrics().counter("graft_rejected_mesh_full");
+        // 12 phantom admissions aside: B's live rejections are bounded by
+        // the backoff — without it there is one per heartbeat (≈ 18)
+        assert!(
+            rejected <= 2,
+            "graft retried {rejected} times inside one backoff window"
+        );
+        assert!(
+            net.metrics().counter("graft_suppressed_backoff") >= 10,
+            "backoff never suppressed a retry"
+        );
+    }
+
+    #[test]
+    fn backoff_expiry_allows_a_deterministic_retry() {
+        let mut net = graft_pingpong_net(4_000);
+        net.run_until(20_000);
+        let rejected = net.metrics().counter("graft_rejected_mesh_full");
+        // one retry per expired 4 s window over 20 s: a handful, not one
+        // per heartbeat and not zero (the backoff must expire)
+        assert!(
+            (3..=8).contains(&rejected),
+            "expected periodic post-backoff retries, saw {rejected}"
+        );
     }
 
     #[test]

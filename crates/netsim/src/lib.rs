@@ -7,7 +7,10 @@
 //!
 //! * [`sim`] — event queue, nodes, contexts, deterministic execution,
 //!   churn support (late joins via [`sim::Network::add_node`], crashes
-//!   via [`sim::Network::remove_node`]),
+//!   via [`sim::Network::remove_node`], crash→restart via
+//!   [`sim::Network::restore_node`]) and fault injection (partitions via
+//!   [`sim::Network::set_partition`], link-degradation bursts via
+//!   [`sim::Network::set_degradation`]),
 //! * [`scheduler`] — the deterministic sharded batch scheduler: events
 //!   sharing a timestamp execute as a shard-partitioned batch (worker
 //!   threads behind the `parallel` feature) and merge back in canonical

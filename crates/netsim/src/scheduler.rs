@@ -123,6 +123,13 @@ impl<N> NodeStore<N> {
         std::mem::replace(&mut self.active[index], false)
     }
 
+    /// Marks a dead node live again (crash → restart on the *same* slot:
+    /// the node struct and its RNG stream are untouched); returns whether
+    /// it was dead.
+    pub(crate) fn reactivate(&mut self, index: usize) -> bool {
+        !std::mem::replace(&mut self.active[index], true)
+    }
+
     pub(crate) fn node(&self, index: usize) -> &N {
         &self.slots[index].as_ref().expect("slot checked out").node
     }

@@ -316,6 +316,19 @@ pub struct Network<N: Node> {
     pub(crate) queue: BinaryHeap<QueuedEvent<N::Message>>,
     pub(crate) latency: Box<dyn LatencyModel>,
     pub(crate) loss_probability: f64,
+    /// Partition-group assignment by node index; empty = no partition.
+    /// Sends between different groups are dropped *before* any link-stream
+    /// draw, so cutting/healing a partition is a pure function of this
+    /// table and cannot shift the link RNG relative to an unpartitioned
+    /// run's surviving sends — the fault layer's half of the determinism
+    /// contract. Nodes beyond the table (late joins) are unrestricted.
+    pub(crate) partition: Vec<u32>,
+    /// Extra i.i.d. loss applied on top of the base loss model while a
+    /// link-degradation burst is active (0.0 = off). Drawn from the link
+    /// stream *after* the base loss draw, in canonical merge order.
+    pub(crate) degraded_extra_loss: f64,
+    /// Extra per-hop latency (ms) while a degradation burst is active.
+    pub(crate) degraded_extra_latency_ms: u64,
     /// The link stream: latency and loss draws. Consumed only while
     /// merging step outputs (canonical order), never by node callbacks.
     pub(crate) link_rng: StdRng,
@@ -337,6 +350,9 @@ impl<N: Node> Network<N> {
             queue: BinaryHeap::new(),
             latency: Box::new(latency),
             loss_probability: 0.0,
+            partition: Vec::new(),
+            degraded_extra_loss: 0.0,
+            degraded_extra_latency_ms: 0,
             link_rng: StdRng::seed_from_u64(stream_seed(seed, LINK_STREAM)),
             seed,
             now: 0,
@@ -353,6 +369,44 @@ impl<N: Node> Network<N> {
     pub fn set_loss_probability(&mut self, p: f64) {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.loss_probability = p;
+    }
+
+    /// Installs a network partition: `groups[i]` is node `i`'s side of
+    /// the cut, and every send whose endpoints sit in different groups is
+    /// dropped (counted as `messages_lost_partition`). Nodes past the end
+    /// of the table — e.g. peers joining mid-partition — are unrestricted.
+    /// The drop decision is made before any link-stream draw, so the cut
+    /// never shifts latency/loss sampling for the traffic that survives.
+    pub fn set_partition(&mut self, groups: Vec<u32>) {
+        self.partition = groups;
+    }
+
+    /// Heals any active partition (all links restored).
+    pub fn clear_partition(&mut self) {
+        self.partition.clear();
+    }
+
+    /// Whether a partition is currently installed.
+    pub fn partition_active(&self) -> bool {
+        !self.partition.is_empty()
+    }
+
+    /// Starts a link-degradation burst: every send suffers `extra_loss`
+    /// additional i.i.d. loss (drawn after the base loss model, counted
+    /// as `messages_lost_degraded`) and `extra_latency_ms` extra delay.
+    pub fn set_degradation(&mut self, extra_loss: f64, extra_latency_ms: u64) {
+        assert!(
+            (0.0..=1.0).contains(&extra_loss),
+            "probability out of range"
+        );
+        self.degraded_extra_loss = extra_loss;
+        self.degraded_extra_latency_ms = extra_latency_ms;
+    }
+
+    /// Ends a link-degradation burst.
+    pub fn clear_degradation(&mut self) {
+        self.degraded_extra_loss = 0.0;
+        self.degraded_extra_latency_ms = 0;
     }
 
     /// Sets the worker-thread count for batch execution. `0` means
@@ -430,6 +484,36 @@ impl<N: Node> Network<N> {
             self.metrics.count("nodes_removed", 1);
         }
         was_active
+    }
+
+    /// Restores a previously removed node (simulated crash → restart):
+    /// the *same* [`NodeId`] comes back to life with whatever protocol
+    /// state its struct still holds, so per-node metrics keyed by
+    /// [`NodeId::as_u64`] stay continuous across the outage. The node's
+    /// private RNG stream is untouched (it resumes where it left off —
+    /// a property of the slot, not of liveness). If the run has started,
+    /// `on_start` is rescheduled so the protocol can re-announce itself
+    /// (gossipsub re-subscribes, timers re-arm). Callers wanting a
+    /// cold-boot rejoin reset the node state via
+    /// [`Network::node_mut`] before restoring.
+    ///
+    /// Returns `false` when the node was already active (idempotent —
+    /// no duplicate `on_start` is scheduled).
+    pub fn restore_node(&mut self, id: NodeId) -> bool {
+        let was_dead = self.nodes.reactivate(id.index());
+        if was_dead {
+            self.metrics.count("nodes_restored", 1);
+            if self.started {
+                let seq = self.next_seq();
+                self.push(QueuedEvent {
+                    at: self.now,
+                    seq,
+                    node: id,
+                    kind: EventKind::Start,
+                });
+            }
+        }
+        was_dead
     }
 
     /// Whether a node is still live (added and not removed).
@@ -620,6 +704,21 @@ impl<N: Node> Network<N> {
                         self.metrics.count("messages_to_removed_peer", 1);
                         continue;
                     }
+                    // partition cut: decided purely from the group table,
+                    // before any link-stream draw (see `partition` docs)
+                    if !self.partition.is_empty() {
+                        let cut = match (
+                            self.partition.get(origin.index()),
+                            self.partition.get(to.index()),
+                        ) {
+                            (Some(a), Some(b)) => a != b,
+                            _ => false,
+                        };
+                        if cut {
+                            self.metrics.count("messages_lost_partition", 1);
+                            continue;
+                        }
+                    }
                     self.metrics.count("messages_sent", 1);
                     let size = msg.size_bytes() as u64;
                     self.metrics.count("bytes_sent", size);
@@ -629,7 +728,14 @@ impl<N: Node> Network<N> {
                         self.metrics.count("messages_lost", 1);
                         continue;
                     }
-                    let latency = self.latency.sample(&mut self.link_rng, origin, to);
+                    if self.degraded_extra_loss > 0.0
+                        && self.link_rng.gen_bool(self.degraded_extra_loss)
+                    {
+                        self.metrics.count("messages_lost_degraded", 1);
+                        continue;
+                    }
+                    let latency = self.latency.sample(&mut self.link_rng, origin, to)
+                        + self.degraded_extra_latency_ms;
                     let ev = QueuedEvent {
                         at: self.now + hold_ms + latency,
                         seq: self.next_seq(),
@@ -878,6 +984,129 @@ mod tests {
         assert!(!net.remove_node(NodeId(1)));
         assert_eq!(net.metrics().counter("nodes_removed"), 1);
         assert_eq!(net.active_len(), 2);
+    }
+
+    #[test]
+    fn restore_node_revives_the_same_slot_and_is_idempotent() {
+        let mut net = ring(3);
+        net.run_until(10);
+        net.remove_node(NodeId(1));
+        assert!(!net.is_active(NodeId(1)));
+        // restoring an active node is a no-op
+        assert!(!net.restore_node(NodeId(0)));
+        assert_eq!(net.metrics().counter("nodes_restored"), 0);
+        // the dead node comes back under the same id
+        assert!(net.restore_node(NodeId(1)));
+        assert!(!net.restore_node(NodeId(1)), "second restore must no-op");
+        assert_eq!(net.metrics().counter("nodes_restored"), 1);
+        assert!(net.is_active(NodeId(1)));
+        assert_eq!(net.active_len(), 3);
+        // traffic flows to it again and is attributed to the same id
+        net.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), b"m".to_vec()));
+        net.run_until(100);
+        assert!(net.node(NodeId(1)).seen);
+    }
+
+    #[test]
+    fn restore_reschedules_on_start_for_started_runs() {
+        struct Beacon {
+            starts: u64,
+        }
+        impl Node for Beacon {
+            type Message = Vec<u8>;
+            fn on_start(&mut self, _: &mut Context<Vec<u8>>) {
+                self.starts += 1;
+            }
+            fn on_message(&mut self, _: &mut Context<Vec<u8>>, _: NodeId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut Context<Vec<u8>>, _: u64) {}
+        }
+        let mut net: Network<Beacon> = Network::new(ConstantLatency(5), 1);
+        let a = net.add_node(Beacon { starts: 0 });
+        net.run_until(50);
+        assert_eq!(net.node(a).starts, 1);
+        net.remove_node(a);
+        net.restore_node(a);
+        net.run_until(100);
+        assert_eq!(net.node(a).starts, 2, "restart must re-run on_start");
+    }
+
+    #[test]
+    fn partition_cuts_cross_group_traffic_only() {
+        let mut net = ring(4);
+        net.set_partition(vec![0, 0, 1, 1]);
+        assert!(net.partition_active());
+        // same side: delivered
+        net.invoke(NodeId(0), |node, ctx| {
+            node.seen = true;
+            ctx.send(NodeId(1), b"m".to_vec());
+        });
+        // across the cut: dropped
+        net.invoke(NodeId(1), |_, ctx| ctx.send(NodeId(2), b"m".to_vec()));
+        net.run_until(1_000);
+        assert!(net.node(NodeId(1)).seen);
+        assert!(!net.node(NodeId(2)).seen);
+        // the explicit 1→2 send plus node 1's flood rebroadcast to 2
+        assert_eq!(net.metrics().counter("messages_lost_partition"), 2);
+        // heal: traffic crosses again
+        net.clear_partition();
+        net.invoke(NodeId(1), |_, ctx| ctx.send(NodeId(2), b"m".to_vec()));
+        net.run_until(2_000);
+        assert!(net.node(NodeId(2)).seen);
+    }
+
+    #[test]
+    fn partition_drop_does_not_shift_the_link_stream() {
+        // two runs, identical same-side traffic; run B adds cross-cut
+        // sends that the partition eats. Surviving arrival times must be
+        // identical — the cut consumes no link-stream draws.
+        let run = |cross: bool| {
+            let mut net: Network<Flood> = Network::new(
+                UniformLatency {
+                    min_ms: 5,
+                    max_ms: 50,
+                },
+                7,
+            );
+            for _ in 0..4 {
+                net.add_node(Flood {
+                    neighbors: vec![],
+                    seen: false,
+                    received_at: None,
+                });
+            }
+            net.set_partition(vec![0, 0, 1, 1]);
+            net.invoke(NodeId(0), |_, ctx| {
+                if cross {
+                    ctx.send(NodeId(2), b"cut".to_vec());
+                }
+                ctx.send(NodeId(1), b"a".to_vec());
+            });
+            net.run_until(1_000);
+            net.node(NodeId(1)).received_at
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn degradation_adds_loss_and_latency_then_clears() {
+        let mut net = ring(2); // constant 10 ms links
+        net.set_degradation(0.0, 25);
+        net.invoke(NodeId(0), |node, ctx| {
+            node.seen = true;
+            ctx.send(NodeId(1), b"m".to_vec());
+        });
+        net.run_until(1_000);
+        assert_eq!(net.node(NodeId(1)).received_at, Some(35)); // 10 + 25
+        net.clear_degradation();
+        let mut lossy = ring(2);
+        lossy.set_degradation(1.0, 0);
+        lossy.invoke(NodeId(0), |node, ctx| {
+            node.seen = true;
+            ctx.send(NodeId(1), b"m".to_vec());
+        });
+        lossy.run_until(1_000);
+        assert!(!lossy.node(NodeId(1)).seen);
+        assert_eq!(lossy.metrics().counter("messages_lost_degraded"), 1);
     }
 
     #[test]

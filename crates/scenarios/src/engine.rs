@@ -26,6 +26,10 @@ use wakurln_netsim::{topology, NodeId, QuiescenceOutcome};
 /// than this after its join don't count it as an eligible receiver.
 const JOIN_SYNC_GRACE_MS: u64 = 20_000;
 
+/// A traffic round counts as delivery-dipped when its pair delivery rate
+/// falls below this threshold (feeds `resilience_delivery_dip_*`).
+const DIP_THRESHOLD: f64 = 0.99;
+
 /// What the engine remembers about one honest publish.
 struct PublishRecord {
     payload: Vec<u8>,
@@ -33,15 +37,62 @@ struct PublishRecord {
     id: MessageId,
     publisher: usize,
     at_ms: u64,
+    /// Traffic round the publish belongs to (per-round delivery rates
+    /// drive the resilience dip metrics).
+    round: usize,
 }
 
-/// One timeline entry (churn before spam before traffic at equal
-/// timestamps — the order adversaries would pick).
+/// One timeline entry (churn before spam before fault transitions before
+/// traffic at equal timestamps — the order adversaries would pick, and
+/// faults land before the traffic that measures them).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
     Churn(usize),
     Spam,
+    FaultCrash(usize),
+    FaultRestore(usize),
+    PartitionStart(usize),
+    PartitionHeal(usize),
+    DegradeStart(usize),
+    DegradeEnd(usize),
+    OutageStart(usize),
     Traffic(usize),
+}
+
+/// Samples time-to-remesh after a disruption ends: armed at every
+/// restart/heal, it records how long until **every** live peer holds at
+/// least `min(2, live - 1)` mesh links on the shared topic — i.e. the
+/// whole population is knit back into the relay mesh. (The floor is
+/// deliberately below `mesh_n_low`: prune-backoff windows keep
+/// individual peers under the heartbeat's target degree for up to a
+/// minute even in steady state, and the metric measures reconnection,
+/// not full degree repair.) Sampling reads per-node state at lock-step
+/// slice boundaries only, so it never influences the simulation and
+/// stays thread-count independent. Re-arming resets the measurement; the
+/// report carries the last completed one.
+struct RemeshProbe {
+    since: Option<u64>,
+    recorded: Option<u64>,
+    mesh_floor: usize,
+}
+
+impl RemeshProbe {
+    fn arm(&mut self, now_ms: u64) {
+        self.since = Some(now_ms);
+        self.recorded = None;
+    }
+
+    fn sample(&mut self, tb: &Testbed) {
+        let Some(since) = self.since else { return };
+        if self.recorded.is_some() {
+            return;
+        }
+        let live: Vec<usize> = (0..tb.peer_count()).filter(|i| tb.is_live(*i)).collect();
+        let floor = self.mesh_floor.min(live.len().saturating_sub(1));
+        if live.iter().all(|&i| tb.mesh_size(i) >= floor) {
+            self.recorded = Some(tb.net.now().saturating_sub(since));
+        }
+    }
 }
 
 /// A progress snapshot emitted while a scenario advances (one per
@@ -121,6 +172,14 @@ fn run_scenario_impl(
     // copies back for per-target jitter drawn from their own RNG stream
     config.gossip.publish_jitter_ms = spec.publish_jitter_ms;
 
+    // time-to-remesh after restarts/heals (see RemeshProbe for why the
+    // floor is connectivity, not mesh_n_low)
+    let mut remesh = RemeshProbe {
+        since: None,
+        recorded: None,
+        mesh_floor: config.gossip.mesh_n_low.min(2),
+    };
+
     let adjacency = build_adjacency(spec, honest + spammers, attackers);
     let costs = assign_costs(&spec.devices, honest, n_initial, config.cost);
     let mut tb = Testbed::build_custom(config, adjacency, |i| costs[i]);
@@ -169,29 +228,47 @@ fn run_scenario_impl(
             EventKind::Traffic(r),
         ));
     }
+    for (i, r) in spec.faults.restarts.iter().enumerate() {
+        events.push((r.at_ms, EventKind::FaultCrash(i)));
+        events.push((r.at_ms + r.downtime_ms, EventKind::FaultRestore(i)));
+    }
+    for (i, p) in spec.faults.partitions.iter().enumerate() {
+        events.push((p.at_ms, EventKind::PartitionStart(i)));
+        events.push((p.at_ms + p.heal_after_ms, EventKind::PartitionHeal(i)));
+    }
+    for (i, d) in spec.faults.degradations.iter().enumerate() {
+        events.push((d.at_ms, EventKind::DegradeStart(i)));
+        events.push((d.at_ms + d.duration_ms, EventKind::DegradeEnd(i)));
+    }
+    for (i, o) in spec.faults.contract_outages.iter().enumerate() {
+        events.push((o.at_ms, EventKind::OutageStart(i)));
+    }
     events.sort();
 
     // run it
     let started_wall = Instant::now();
     let end_ms = spec.duration_ms();
-    let advance =
-        |tb: &mut Testbed, to_ms: u64, observe: &mut Option<&mut dyn FnMut(&Progress)>| {
-            // slice at the engine level so a progress observer sees every
-            // lock-step boundary; tb.run slices identically internally, so
-            // the world evolves the same with or without an observer
-            while tb.net.now() < to_ms {
-                let next = (tb.net.now() + spec.slice_ms).min(to_ms);
-                tb.run(next - tb.net.now(), spec.slice_ms);
-                if let Some(observe) = observe.as_deref_mut() {
-                    observe(&Progress {
-                        sim_ms: tb.net.now(),
-                        total_ms: end_ms,
-                        events_dispatched: tb.net.events_dispatched(),
-                        wall_ms: started_wall.elapsed().as_millis() as u64,
-                    });
-                }
+    let advance = |tb: &mut Testbed,
+                   to_ms: u64,
+                   observe: &mut Option<&mut dyn FnMut(&Progress)>,
+                   remesh: &mut RemeshProbe| {
+        // slice at the engine level so a progress observer sees every
+        // lock-step boundary; tb.run slices identically internally, so
+        // the world evolves the same with or without an observer
+        while tb.net.now() < to_ms {
+            let next = (tb.net.now() + spec.slice_ms).min(to_ms);
+            tb.run(next - tb.net.now(), spec.slice_ms);
+            remesh.sample(tb);
+            if let Some(observe) = observe.as_deref_mut() {
+                observe(&Progress {
+                    sim_ms: tb.net.now(),
+                    total_ms: end_ms,
+                    events_dispatched: tb.net.events_dispatched(),
+                    wall_ms: started_wall.elapsed().as_millis() as u64,
+                });
             }
-        };
+        }
+    };
     let mut publishes: Vec<PublishRecord> = Vec::new();
     let mut spam_payloads: Vec<(usize, Vec<u8>, u64)> = Vec::new();
     let mut honest_publish_failures = 0u64;
@@ -201,10 +278,15 @@ fn run_scenario_impl(
     let mut peers_joined = 0u64;
     // join time per peer id; initial peers joined at 0
     let mut joined_at: Vec<u64> = vec![0; n_initial];
+    // fault bookkeeping: which peers each restart event took down (the
+    // matching restore brings back exactly that set), and how many fault
+    // transitions actually fired
+    let mut restart_sets: Vec<Vec<usize>> = vec![Vec::new(); spec.faults.restarts.len()];
+    let mut faults_injected = 0u64;
 
     for (at_ms, kind) in events {
         if at_ms > tb.net.now() {
-            advance(&mut tb, at_ms, &mut observe);
+            advance(&mut tb, at_ms, &mut observe, &mut remesh);
         }
         match kind {
             EventKind::Churn(i) => match spec.churn[i].action {
@@ -245,6 +327,59 @@ fn run_scenario_impl(
                     }
                 }
             }
+            EventKind::FaultCrash(i) => {
+                let mut candidates = honest_candidates(&tb, honest, &joined_at, victim);
+                candidates.shuffle(&mut rng);
+                candidates.truncate(spec.faults.restarts[i].peers);
+                candidates.sort_unstable();
+                for &p in &candidates {
+                    tb.crash_peer(p);
+                }
+                restart_sets[i] = candidates;
+                faults_injected += 1;
+            }
+            EventKind::FaultRestore(i) => {
+                let warm = spec.faults.restarts[i].warm;
+                for &p in &restart_sets[i] {
+                    tb.restart_peer(p, warm);
+                }
+                remesh.arm(tb.net.now());
+            }
+            EventKind::PartitionStart(i) => {
+                // the minority group is drawn from the live population so
+                // the split is meaningful even after churn/crashes
+                let p = spec.faults.partitions[i];
+                let mut live: Vec<usize> =
+                    (0..tb.peer_count()).filter(|j| tb.is_live(*j)).collect();
+                live.shuffle(&mut rng);
+                let minority = ((live.len() as f64) * p.minority_fraction).round() as usize;
+                let mut groups = vec![0u32; tb.peer_count()];
+                for &j in live.iter().take(minority) {
+                    groups[j] = 1;
+                }
+                tb.net.set_partition(groups);
+                faults_injected += 1;
+            }
+            EventKind::PartitionHeal(_) => {
+                tb.net.clear_partition();
+                remesh.arm(tb.net.now());
+            }
+            EventKind::DegradeStart(i) => {
+                let d = spec.faults.degradations[i];
+                tb.net.set_degradation(d.extra_loss, d.extra_latency_ms);
+                faults_injected += 1;
+            }
+            EventKind::DegradeEnd(_) => {
+                tb.net.clear_degradation();
+            }
+            EventKind::OutageStart(i) => {
+                // the chain clock ticks in seconds; round the end up so a
+                // sub-second tail still covers its full window
+                let o = spec.faults.contract_outages[i];
+                tb.chain
+                    .set_registration_outage((o.at_ms + o.duration_ms).div_ceil(1000));
+                faults_injected += 1;
+            }
             EventKind::Traffic(round) => {
                 let mut candidates = honest_candidates(&tb, honest, &joined_at, victim);
                 // only synced members can generate proofs, and the
@@ -259,6 +394,7 @@ fn run_scenario_impl(
                             id,
                             publisher: p,
                             at_ms: tb.net.now(),
+                            round,
                         }),
                         Err(_) => honest_publish_failures += 1,
                     }
@@ -267,7 +403,7 @@ fn run_scenario_impl(
         }
     }
     if end_ms > tb.net.now() {
-        advance(&mut tb, end_ms, &mut observe);
+        advance(&mut tb, end_ms, &mut observe, &mut remesh);
     }
     // classify the drain: did the network actually settle, or did the
     // hard stop cut it off with work still queued? (Live meshes keep
@@ -302,17 +438,22 @@ fn run_scenario_impl(
     let mut pairs_delivered = 0u64;
     let mut victim_pairs = 0u64;
     let mut victim_delivered = 0u64;
+    // per-traffic-round pair counts: (publish time, total, delivered)
+    let mut rounds: Vec<(u64, u64, u64)> = vec![(0, 0, 0); spec.traffic.rounds];
     let mut samples: Vec<f64> = Vec::new();
     for publish in &publishes {
         let delivered_to = arrivals.get(&publish.payload);
+        rounds[publish.round].0 = publish.at_ms;
         for i in 0..n_total {
             if !eligible_receiver(i, publish.publisher, publish.at_ms) {
                 continue;
             }
             pairs_total += 1;
+            rounds[publish.round].1 += 1;
             let arrival = delivered_to.and_then(|m| m.get(&i));
             if let Some(at) = arrival {
                 pairs_delivered += 1;
+                rounds[publish.round].2 += 1;
                 samples.push(at.saturating_sub(publish.at_ms) as f64);
             }
             if Some(i) == victim {
@@ -438,6 +579,56 @@ fn run_scenario_impl(
     }
 
     let metrics = tb.net.metrics();
+
+    // resilience distillation — populated only when the spec schedules
+    // faults, so fault-free reports keep every resilience_* field null
+    let mut resilience_faults_injected = None;
+    let mut resilience_peers_restarted = None;
+    let mut resilience_resync_retries = None;
+    let mut resilience_messages_lost_partition = None;
+    let mut resilience_time_to_remesh_ms = None;
+    let mut resilience_delivery_during_fault = None;
+    let mut resilience_delivery_post_heal = None;
+    let mut resilience_delivery_dip_depth = None;
+    let mut resilience_delivery_dip_duration_ms = None;
+    if !spec.faults.is_empty() {
+        let windows = spec.faults.windows();
+        let last_end = spec.faults.last_end_ms();
+        let in_fault = |t: u64| windows.iter().any(|(s, e)| t >= *s && t < *e);
+        let mut during = (0u64, 0u64);
+        let mut post = (0u64, 0u64);
+        let mut min_rate: Option<f64> = None;
+        let mut dip_rounds = 0u64;
+        for &(at, total, delivered) in &rounds {
+            if total == 0 {
+                continue;
+            }
+            let rate = delivered as f64 / total as f64;
+            min_rate = Some(min_rate.map_or(rate, |m: f64| m.min(rate)));
+            if rate < DIP_THRESHOLD {
+                dip_rounds += 1;
+            }
+            if in_fault(at) {
+                during.0 += total;
+                during.1 += delivered;
+            }
+            if at >= last_end {
+                post.0 += total;
+                post.1 += delivered;
+            }
+        }
+        resilience_faults_injected = Some(faults_injected);
+        resilience_peers_restarted = Some(metrics.counter("peer_restarts"));
+        resilience_resync_retries = Some(metrics.counter("resync_retries"));
+        resilience_messages_lost_partition = Some(metrics.counter("messages_lost_partition"));
+        resilience_time_to_remesh_ms = remesh.recorded;
+        resilience_delivery_during_fault =
+            (during.0 > 0).then(|| during.1 as f64 / during.0 as f64);
+        resilience_delivery_post_heal = (post.0 > 0).then(|| post.1 as f64 / post.0 as f64);
+        resilience_delivery_dip_depth = min_rate.map(|m| 1.0 - m);
+        resilience_delivery_dip_duration_ms = Some(dip_rounds * spec.traffic.interval_ms);
+    }
+
     let report = ScenarioReport {
         scenario: spec.name.clone(),
         seed: spec.seed,
@@ -491,6 +682,15 @@ fn run_scenario_impl(
         anonymity_centrality_precision_at1,
         anonymity_set_mean_size,
         anonymity_arrival_entropy_bits,
+        resilience_faults_injected,
+        resilience_peers_restarted,
+        resilience_resync_retries,
+        resilience_messages_lost_partition,
+        resilience_time_to_remesh_ms,
+        resilience_delivery_during_fault,
+        resilience_delivery_post_heal,
+        resilience_delivery_dip_depth,
+        resilience_delivery_dip_duration_ms,
     };
     (report, tb)
 }
@@ -635,6 +835,128 @@ mod tests {
         // every attacker knows the victim
         for adj in &adjacency[10..] {
             assert!(adj.contains(&NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn fault_free_runs_leave_the_resilience_section_null() {
+        let report = run_scenario(&tiny(7));
+        assert_eq!(report.resilience_faults_injected, None);
+        assert_eq!(report.resilience_time_to_remesh_ms, None);
+        assert_eq!(report.resilience_delivery_dip_depth, None);
+    }
+
+    #[test]
+    fn partition_heal_dips_then_recovers() {
+        let report = run_scenario(&crate::library::partition_heal(24, 3));
+        assert_eq!(report.resilience_faults_injected, Some(1));
+        let during = report
+            .resilience_delivery_during_fault
+            .expect("rounds land inside the partition window");
+        let post = report
+            .resilience_delivery_post_heal
+            .expect("a round lands after the heal");
+        // the acceptance claim: delivery visibly dips while the cut
+        // holds and comes back once the partition heals
+        assert!(during < 1.0, "during {during}");
+        assert!(post >= 0.99, "post {post}");
+        assert!(report.resilience_delivery_dip_depth.unwrap() > 0.0);
+        assert!(report.resilience_messages_lost_partition.unwrap() > 0);
+        assert!(
+            report.resilience_time_to_remesh_ms.is_some(),
+            "mesh must re-form after the heal"
+        );
+    }
+
+    #[test]
+    fn fault_storm_restarts_and_retries_resync_through_the_outage() {
+        let report = run_scenario(&crate::library::fault_storm(16, 2));
+        // 2 crash waves + 1 degradation + 1 contract outage
+        assert_eq!(report.resilience_faults_injected, Some(4));
+        assert_eq!(report.resilience_peers_restarted, Some(2));
+        // the cold restore lands mid-outage, so the Merkle resync has to
+        // retry until the contract returns
+        assert!(report.resilience_resync_retries.unwrap() > 0);
+        let post = report.resilience_delivery_post_heal.unwrap();
+        assert!(post >= 0.99, "post-recovery delivery {post}");
+    }
+
+    #[test]
+    fn fault_reports_are_thread_count_invariant() {
+        let mut spec = crate::library::fault_storm(16, 11);
+        spec.threads = 1;
+        let t1 = run_scenario(&spec).to_json();
+        spec.threads = 4;
+        let t4 = run_scenario(&spec).to_json();
+        assert_eq!(t1, t4, "fault injection must not break the merge order");
+    }
+
+    #[test]
+    fn simulated_hour_soak_keeps_per_node_state_bounded() {
+        use crate::spec::{ContractOutageEvent, DegradationEvent, PartitionEvent, RestartEvent};
+        // an hour of continuous traffic with every fault class in play:
+        // the long-horizon leak check for the nullifier window GC, the
+        // verdict cache, the mcache and the publisher's own-message map
+        let mut spec = ScenarioSpec::baseline(8, 13);
+        spec.name = "hour_soak".to_string();
+        spec.traffic = TrafficSpec {
+            publishers: 2,
+            rounds: 30,
+            start_ms: 10_000,
+            interval_ms: 120_000,
+        };
+        spec.faults.restarts = vec![
+            RestartEvent {
+                at_ms: 600_000,
+                peers: 1,
+                downtime_ms: 10_000,
+                warm: true,
+            },
+            RestartEvent {
+                at_ms: 1_800_000,
+                peers: 1,
+                downtime_ms: 10_000,
+                warm: false,
+            },
+        ];
+        spec.faults.partitions = vec![PartitionEvent {
+            at_ms: 1_200_000,
+            heal_after_ms: 20_000,
+            minority_fraction: 0.3,
+        }];
+        spec.faults.degradations = vec![DegradationEvent {
+            at_ms: 2_400_000,
+            duration_ms: 30_000,
+            extra_loss: 0.1,
+            extra_latency_ms: 50,
+        }];
+        // covers the cold restore at 1_810_000, forcing resync retries
+        spec.faults.contract_outages = vec![ContractOutageEvent {
+            at_ms: 1_795_000,
+            duration_ms: 30_000,
+        }];
+        spec.drain_ms = 120_000;
+        let (report, tb) = run_scenario_detailed(&spec);
+        assert!(report.duration_ms >= 3_600_000);
+        assert!(report.resilience_resync_retries.unwrap() > 0);
+        assert!(report.delivery_rate > 0.9, "rate {}", report.delivery_rate);
+        for i in 0..tb.peer_count() {
+            if !tb.is_live(i) {
+                continue;
+            }
+            let node = tb.net.node(NodeId(i));
+            // epoch-window GC: far below one entry per message ever sent
+            assert!(
+                node.validator().nullifier_map_bytes() < 16_384,
+                "peer {i}: nullifier map grew unbounded"
+            );
+            let gs = node.relay().gossipsub();
+            assert!(gs.mcache_len() < 200, "peer {i}: mcache leaks");
+            assert!(
+                gs.own_published_len() < 200,
+                "peer {i}: own_published leaks"
+            );
+            assert!(gs.seen_len() < 2_000, "peer {i}: seen cache leaks");
         }
     }
 

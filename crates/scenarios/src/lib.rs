@@ -13,6 +13,10 @@
 //!   censorship-eclipse adversaries, heterogeneous device profiles (§I),
 //! * a **churn schedule** — crashes and §III group-sync joins at
 //!   simulated timestamps,
+//! * a **fault plan** — timed crash→restart waves (warm or cold
+//!   rejoin), network partitions with heal, link-degradation bursts and
+//!   registration-contract outages, distilled into the report's
+//!   `resilience_*` section,
 //! * **epoch/RLN parameters** — `T`, `D`, and therefore `Thr = ⌈D/T⌉`,
 //! * an honest **traffic schedule**.
 //!
@@ -57,6 +61,7 @@ pub use engine::{run_scenario, run_scenario_detailed, run_scenario_with_progress
 pub use library::{builtin, BUILTIN_NAMES};
 pub use report::ScenarioReport;
 pub use spec::{
-    ChurnAction, ChurnEvent, DeviceClassSpec, EclipseSpec, LatencySpec, ScenarioSpec, SpamSpec,
-    SurveillanceSpec, TopologySpec, TrafficSpec,
+    ChurnAction, ChurnEvent, ContractOutageEvent, DegradationEvent, DeviceClassSpec, EclipseSpec,
+    FaultPlan, LatencySpec, PartitionEvent, RestartEvent, ScenarioSpec, SpamSpec, SurveillanceSpec,
+    TopologySpec, TrafficSpec,
 };

@@ -1,19 +1,19 @@
 //! The built-in scenario library.
 //!
-//! Ten canonical workloads, each parameterized by network size and seed
-//! so the same scenario runs at 8 peers in a unit test and at 1000–10000
-//! peers under `simctl`. Attack intensity and traffic volume scale with
-//! the population. See `docs/SCENARIOS.md` for what each scenario
-//! stresses and which paper claim it exercises.
+//! Twelve canonical workloads, each parameterized by network size and
+//! seed so the same scenario runs at 8 peers in a unit test and at
+//! 1000–10000 peers under `simctl`. Attack intensity and traffic volume
+//! scale with the population. See `docs/SCENARIOS.md` for what each
+//! scenario stresses and which paper claim it exercises.
 
 use crate::spec::{
-    ChurnAction, ChurnEvent, DeviceClassSpec, EclipseSpec, ScenarioSpec, SpamSpec,
-    SurveillanceSpec, TrafficSpec,
+    ChurnAction, ChurnEvent, ContractOutageEvent, DegradationEvent, DeviceClassSpec, EclipseSpec,
+    PartitionEvent, RestartEvent, ScenarioSpec, SpamSpec, SurveillanceSpec, TrafficSpec,
 };
 use waku_rln_relay::{EpochScheme, PipelineConfig};
 
 /// Names of all built-in scenarios, in canonical order.
-pub const BUILTIN_NAMES: [&str; 10] = [
+pub const BUILTIN_NAMES: [&str; 12] = [
     "baseline",
     "spam_burst",
     "targeted_eclipse",
@@ -24,6 +24,8 @@ pub const BUILTIN_NAMES: [&str; 10] = [
     "massive_population",
     "passive_surveillance",
     "deanonymization_sweep",
+    "partition_heal",
+    "fault_storm",
 ];
 
 /// Builds a built-in scenario by name, sized to `nodes` honest peers.
@@ -40,6 +42,8 @@ pub fn builtin(name: &str, nodes: usize, seed: u64) -> Option<ScenarioSpec> {
         "massive_population" => massive_population(nodes, seed),
         "passive_surveillance" => passive_surveillance(nodes, seed),
         "deanonymization_sweep" => deanonymization_sweep(nodes, seed),
+        "partition_heal" => partition_heal(nodes, seed),
+        "fault_storm" => fault_storm(nodes, seed),
         _ => return None,
     };
     Some(spec)
@@ -267,6 +271,80 @@ pub fn deanonymization_sweep(nodes: usize, seed: u64) -> ScenarioSpec {
     spec
 }
 
+/// The partition-and-heal drill: 30% of the live network splits away
+/// for 22 seconds — long enough to starve deliveries across the cut,
+/// short enough that the 30-second gossipsub liveness sweep never prunes
+/// the silent mesh links — with traffic rounds before, during and after.
+/// The claim under test: delivery dips below 1.0 while the partition
+/// holds and recovers to ≥ 0.99 after the heal, with the time-to-remesh
+/// and the cross-cut message loss reported deterministically
+/// (`resilience_*` section).
+pub fn partition_heal(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "partition_heal".to_string();
+    spec.traffic = TrafficSpec {
+        publishers: (nodes / 8).clamp(2, 24),
+        rounds: 4,
+        start_ms: 10_000,
+        interval_ms: 15_000,
+    };
+    // rounds at 10/25/40/55 s; the partition covers the 25 s and 40 s
+    // rounds and heals at 42 s, so the 55 s round measures recovery
+    spec.faults.partitions = vec![PartitionEvent {
+        at_ms: 20_000,
+        heal_after_ms: 22_000,
+        minority_fraction: 0.3,
+    }];
+    spec.drain_ms = 45_000;
+    spec
+}
+
+/// The combined fault storm: a warm restart wave (5% of the network down
+/// for 10 s), a link-degradation burst, a registration-contract outage,
+/// and a cold restart whose recovery lands **inside** the outage — so
+/// the Merkle resync path has to retry until the contract returns. The
+/// claim under test: every recovery path (re-subscribe/re-graft, warm
+/// delta replay, cold genesis rebuild, bounded resync retry) composes
+/// under overlapping faults, and the run stays byte-identical at any
+/// thread count.
+pub fn fault_storm(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "fault_storm".to_string();
+    spec.traffic = TrafficSpec {
+        publishers: (nodes / 8).clamp(2, 24),
+        rounds: 5,
+        start_ms: 10_000,
+        interval_ms: 20_000,
+    };
+    spec.faults.restarts = vec![
+        RestartEvent {
+            at_ms: 25_000,
+            peers: (nodes / 20).max(1),
+            downtime_ms: 10_000,
+            warm: true,
+        },
+        // restores at 65 s, mid-outage: resync must retry until 85 s
+        RestartEvent {
+            at_ms: 60_000,
+            peers: 1,
+            downtime_ms: 5_000,
+            warm: false,
+        },
+    ];
+    spec.faults.degradations = vec![DegradationEvent {
+        at_ms: 45_000,
+        duration_ms: 10_000,
+        extra_loss: 0.10,
+        extra_latency_ms: 50,
+    }];
+    spec.faults.contract_outages = vec![ContractOutageEvent {
+        at_ms: 55_000,
+        duration_ms: 30_000,
+    }];
+    spec.drain_ms = 60_000;
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +386,40 @@ mod tests {
     fn spam_burst_scales_attackers_with_population() {
         assert_eq!(spam_burst(100, 1).spam.unwrap().spammers, 1);
         assert_eq!(spam_burst(1000, 1).spam.unwrap().spammers, 10);
+    }
+
+    #[test]
+    fn partition_heal_beats_the_liveness_sweep() {
+        // the partition must heal before peer_timeout_ms (30 s) of mesh
+        // silence, or the sweep prunes the cut links and the scenario
+        // would measure mesh death instead of recovery
+        let spec = partition_heal(200, 1);
+        let p = spec.faults.partitions[0];
+        assert!(p.heal_after_ms < 30_000);
+        // at least one traffic round lands inside the window and at
+        // least one after the heal
+        let during = (0..spec.traffic.rounds)
+            .map(|r| spec.traffic.start_ms + spec.traffic.interval_ms * r as u64)
+            .filter(|t| *t >= p.at_ms && *t < p.at_ms + p.heal_after_ms)
+            .count();
+        let after = (0..spec.traffic.rounds)
+            .map(|r| spec.traffic.start_ms + spec.traffic.interval_ms * r as u64)
+            .filter(|t| *t >= spec.faults.last_end_ms())
+            .count();
+        assert!(during >= 1 && after >= 1);
+    }
+
+    #[test]
+    fn fault_storm_cold_restore_lands_inside_the_outage() {
+        let spec = fault_storm(200, 1);
+        let cold = spec.faults.restarts[1];
+        assert!(!cold.warm);
+        let outage = spec.faults.contract_outages[0];
+        let restore = cold.at_ms + cold.downtime_ms;
+        assert!(restore >= outage.at_ms && restore < outage.at_ms + outage.duration_ms);
+        // scaled restart wave: 10 peers at 200 nodes, never zero
+        assert_eq!(spec.faults.restarts[0].peers, 10);
+        assert_eq!(fault_storm(8, 1).faults.restarts[0].peers, 1);
     }
 
     #[test]

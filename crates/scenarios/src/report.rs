@@ -141,6 +141,38 @@ pub struct ScenarioReport {
     /// Mean Shannon entropy of the pooled arrival-vote distribution,
     /// bits per observed message (0 = certain attribution).
     pub anonymity_arrival_entropy_bits: Option<f64>,
+
+    /// **Resilience section** (all `null` unless the spec schedules a
+    /// [`FaultPlan`]): fault transitions actually injected (each
+    /// crash-set, partition, degradation burst and contract outage counts
+    /// once).
+    ///
+    /// [`FaultPlan`]: crate::spec::FaultPlan
+    pub resilience_faults_injected: Option<u64>,
+    /// Peers brought back by the restart schedule.
+    pub resilience_peers_restarted: Option<u64>,
+    /// Resync attempts deferred because the registration contract was
+    /// unreachable (each restarted peer retries once per harness tick
+    /// until the outage lifts).
+    pub resilience_resync_retries: Option<u64>,
+    /// Wire messages dropped on links crossing an active partition.
+    pub resilience_messages_lost_partition: Option<u64>,
+    /// Time from the last restart/heal until every live peer held at
+    /// least `min(2, live - 1)` mesh links again — the whole population
+    /// re-knit into the relay mesh — in milliseconds (`null` if that
+    /// never happened before the run ended).
+    pub resilience_time_to_remesh_ms: Option<u64>,
+    /// Pair delivery rate over traffic rounds published inside a fault
+    /// window (`null` when no round landed inside one).
+    pub resilience_delivery_during_fault: Option<f64>,
+    /// Pair delivery rate over traffic rounds published at or after the
+    /// end of the last fault window (`null` when no round landed there).
+    pub resilience_delivery_post_heal: Option<f64>,
+    /// Deepest per-round delivery dip: `1 - min(round delivery rate)`.
+    pub resilience_delivery_dip_depth: Option<f64>,
+    /// Rounds below the 0.99 delivery threshold × traffic interval — how
+    /// long delivery stayed visibly degraded, milliseconds.
+    pub resilience_delivery_dip_duration_ms: Option<u64>,
 }
 
 /// One parsed value of the flat report schema.
@@ -416,6 +448,42 @@ impl ScenarioReport {
             "anonymity_arrival_entropy_bits",
             json_opt(self.anonymity_arrival_entropy_bits),
         );
+        field(
+            "resilience_faults_injected",
+            json_opt_u64(self.resilience_faults_injected),
+        );
+        field(
+            "resilience_peers_restarted",
+            json_opt_u64(self.resilience_peers_restarted),
+        );
+        field(
+            "resilience_resync_retries",
+            json_opt_u64(self.resilience_resync_retries),
+        );
+        field(
+            "resilience_messages_lost_partition",
+            json_opt_u64(self.resilience_messages_lost_partition),
+        );
+        field(
+            "resilience_time_to_remesh_ms",
+            json_opt_u64(self.resilience_time_to_remesh_ms),
+        );
+        field(
+            "resilience_delivery_during_fault",
+            json_opt(self.resilience_delivery_during_fault),
+        );
+        field(
+            "resilience_delivery_post_heal",
+            json_opt(self.resilience_delivery_post_heal),
+        );
+        field(
+            "resilience_delivery_dip_depth",
+            json_opt(self.resilience_delivery_dip_depth),
+        );
+        field(
+            "resilience_delivery_dip_duration_ms",
+            json_opt_u64(self.resilience_delivery_dip_duration_ms),
+        );
         let _ = &mut field;
         out.push_str("\n}\n");
         out
@@ -536,6 +604,17 @@ impl ScenarioReport {
             anonymity_centrality_precision_at1: get_opt_f64("anonymity_centrality_precision_at1")?,
             anonymity_set_mean_size: get_opt_f64("anonymity_set_mean_size")?,
             anonymity_arrival_entropy_bits: get_opt_f64("anonymity_arrival_entropy_bits")?,
+            resilience_faults_injected: get_opt_u64("resilience_faults_injected")?,
+            resilience_peers_restarted: get_opt_u64("resilience_peers_restarted")?,
+            resilience_resync_retries: get_opt_u64("resilience_resync_retries")?,
+            resilience_messages_lost_partition: get_opt_u64("resilience_messages_lost_partition")?,
+            resilience_time_to_remesh_ms: get_opt_u64("resilience_time_to_remesh_ms")?,
+            resilience_delivery_during_fault: get_opt_f64("resilience_delivery_during_fault")?,
+            resilience_delivery_post_heal: get_opt_f64("resilience_delivery_post_heal")?,
+            resilience_delivery_dip_depth: get_opt_f64("resilience_delivery_dip_depth")?,
+            resilience_delivery_dip_duration_ms: get_opt_u64(
+                "resilience_delivery_dip_duration_ms",
+            )?,
         })
     }
 
@@ -624,6 +703,15 @@ mod tests {
             anonymity_centrality_precision_at1: None,
             anonymity_set_mean_size: None,
             anonymity_arrival_entropy_bits: None,
+            resilience_faults_injected: None,
+            resilience_peers_restarted: None,
+            resilience_resync_retries: None,
+            resilience_messages_lost_partition: None,
+            resilience_time_to_remesh_ms: None,
+            resilience_delivery_during_fault: None,
+            resilience_delivery_post_heal: None,
+            resilience_delivery_dip_depth: None,
+            resilience_delivery_dip_duration_ms: None,
         }
     }
 
@@ -641,6 +729,11 @@ mod tests {
         assert!(json.contains("\"anonymity_observers\": null"));
         assert!(json.contains("\"anonymity_first_spy_precision_at1\": null"));
         assert!(json.contains("\"anonymity_arrival_entropy_bits\": null"));
+        // the resilience section is always present, null without a
+        // fault plan
+        assert!(json.contains("\"resilience_faults_injected\": null"));
+        assert!(json.contains("\"resilience_time_to_remesh_ms\": null"));
+        assert!(json.contains("\"resilience_delivery_dip_depth\": null"));
         // no trailing comma before the closing brace
         assert!(!json.contains(",\n}"));
     }
@@ -699,6 +792,29 @@ mod tests {
         assert_eq!(parsed.to_json(), json);
         assert_eq!(parsed.anonymity_messages_observed, Some(40));
         assert_eq!(parsed.anonymity_set_mean_size, Some(3.4));
+    }
+
+    #[test]
+    fn resilience_section_round_trips_when_populated() {
+        let mut report = dummy();
+        report.resilience_faults_injected = Some(4);
+        report.resilience_peers_restarted = Some(11);
+        report.resilience_resync_retries = Some(7);
+        report.resilience_messages_lost_partition = Some(1234);
+        report.resilience_time_to_remesh_ms = Some(3000);
+        report.resilience_delivery_during_fault = Some(0.6125);
+        report.resilience_delivery_post_heal = Some(0.9975);
+        report.resilience_delivery_dip_depth = Some(0.3875);
+        report.resilience_delivery_dip_duration_ms = Some(30_000);
+        let json = report.to_json();
+        assert!(json.contains("\"resilience_faults_injected\": 4"));
+        assert!(json.contains("\"resilience_delivery_during_fault\": 0.612500"));
+        assert!(json.contains("\"resilience_delivery_dip_duration_ms\": 30000"));
+        let parsed = ScenarioReport::from_json(&json).expect("parses");
+        assert_eq!(parsed.to_json(), json);
+        assert_eq!(parsed.resilience_peers_restarted, Some(11));
+        assert_eq!(parsed.resilience_time_to_remesh_ms, Some(3000));
+        assert_eq!(parsed.resilience_delivery_post_heal, Some(0.9975));
     }
 
     #[test]

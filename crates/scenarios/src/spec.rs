@@ -103,6 +103,188 @@ pub struct ChurnEvent {
     pub action: ChurnAction,
 }
 
+/// A timed crash→restart fault: `peers` live honest peers crash at
+/// `at_ms` and restart `downtime_ms` later. Restarted peers come back in
+/// their original slot (stable id, continuous per-node metrics), re-run
+/// gossip startup (re-subscribe, re-graft bounded by the PRUNE backoff)
+/// and resynchronize the group via the harness replay log — immediately
+/// when the registration contract is reachable, with counted retries
+/// when a [`ContractOutageEvent`] overlaps the restart.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RestartEvent {
+    /// Crash time, milliseconds.
+    pub at_ms: u64,
+    /// How many live honest peers crash.
+    pub peers: usize,
+    /// Downtime before the restart, milliseconds.
+    pub downtime_ms: u64,
+    /// `true` = warm rejoin (tree/validator state survived on disk; only
+    /// the missed events replay). `false` = cold rejoin (state wiped;
+    /// full group resynchronization from genesis).
+    pub warm: bool,
+}
+
+/// A network partition: at `at_ms` the live population splits into a
+/// majority and a minority group; every cross-group send is dropped until
+/// the partition heals `heal_after_ms` later. Keep `heal_after_ms` plus
+/// the time to the next keepalive below the gossip `peer_timeout_ms`
+/// (default 30 s), or the liveness sweep prunes cross-partition mesh
+/// links permanently and the halves never re-merge on their own.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionEvent {
+    /// Partition start, milliseconds.
+    pub at_ms: u64,
+    /// Time until the partition heals, milliseconds.
+    pub heal_after_ms: u64,
+    /// Fraction of live peers cut off into the minority group, in
+    /// `(0, 0.5]`.
+    pub minority_fraction: f64,
+}
+
+/// A link-degradation burst: for `duration_ms` every send additionally
+/// loses with probability `extra_loss` (independent of the base loss) and
+/// every delivered message takes `extra_latency_ms` longer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradationEvent {
+    /// Burst start, milliseconds.
+    pub at_ms: u64,
+    /// Burst length, milliseconds.
+    pub duration_ms: u64,
+    /// Additional i.i.d. loss probability in `[0, 1]`.
+    pub extra_loss: f64,
+    /// Additional per-message latency, milliseconds.
+    pub extra_latency_ms: u64,
+}
+
+/// A registration-contract outage: from `at_ms` for `duration_ms`, every
+/// `Register` transaction reverts (stake refunded) and restarted peers
+/// cannot complete their group resync — each retries once per lock-step
+/// slice (counted as `resync_retries`) until the outage lifts. Slashing
+/// is unaffected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ContractOutageEvent {
+    /// Outage start, milliseconds.
+    pub at_ms: u64,
+    /// Outage length, milliseconds.
+    pub duration_ms: u64,
+}
+
+/// The deterministic fault-injection plan: timed crash→restart cycles,
+/// network partitions, link-degradation bursts and registration-contract
+/// outages. Empty by default — and with an empty plan every
+/// `resilience_*` report field is `null`, byte-identical to pre-fault
+/// reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Crash→restart cycles.
+    pub restarts: Vec<RestartEvent>,
+    /// Partition/heal windows.
+    pub partitions: Vec<PartitionEvent>,
+    /// Link-degradation bursts.
+    pub degradations: Vec<DegradationEvent>,
+    /// Registration-contract outages.
+    pub contract_outages: Vec<ContractOutageEvent>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.restarts.is_empty()
+            && self.partitions.is_empty()
+            && self.degradations.is_empty()
+            && self.contract_outages.is_empty()
+    }
+
+    /// Every fault window as `(start_ms, end_ms)` — restart downtimes,
+    /// partition spans, degradation bursts and contract outages. The
+    /// engine classifies traffic rounds as in-fault or post-heal against
+    /// these.
+    pub fn windows(&self) -> Vec<(u64, u64)> {
+        let mut windows: Vec<(u64, u64)> = Vec::new();
+        for r in &self.restarts {
+            windows.push((r.at_ms, r.at_ms + r.downtime_ms));
+        }
+        for p in &self.partitions {
+            windows.push((p.at_ms, p.at_ms + p.heal_after_ms));
+        }
+        for d in &self.degradations {
+            windows.push((d.at_ms, d.at_ms + d.duration_ms));
+        }
+        for o in &self.contract_outages {
+            windows.push((o.at_ms, o.at_ms + o.duration_ms));
+        }
+        windows
+    }
+
+    /// End of the last fault window (0 for an empty plan).
+    pub fn last_end_ms(&self) -> u64 {
+        self.windows()
+            .iter()
+            .map(|(_, end)| *end)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks internal consistency (each schedule sorted by start time,
+    /// all parameters in range).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an impossible plan.
+    pub fn validate(&self) {
+        let sorted = |starts: &[u64]| starts.windows(2).all(|w| w[0] <= w[1]);
+        assert!(
+            sorted(&self.restarts.iter().map(|r| r.at_ms).collect::<Vec<_>>()),
+            "restart schedule must be sorted by time"
+        );
+        assert!(
+            sorted(&self.partitions.iter().map(|p| p.at_ms).collect::<Vec<_>>()),
+            "partition schedule must be sorted by time"
+        );
+        assert!(
+            sorted(
+                &self
+                    .degradations
+                    .iter()
+                    .map(|d| d.at_ms)
+                    .collect::<Vec<_>>()
+            ),
+            "degradation schedule must be sorted by time"
+        );
+        assert!(
+            sorted(
+                &self
+                    .contract_outages
+                    .iter()
+                    .map(|o| o.at_ms)
+                    .collect::<Vec<_>>()
+            ),
+            "contract-outage schedule must be sorted by time"
+        );
+        for r in &self.restarts {
+            assert!(r.peers >= 1, "a restart event needs at least one peer");
+            assert!(r.downtime_ms >= 1, "downtime must be positive");
+        }
+        for p in &self.partitions {
+            assert!(p.heal_after_ms >= 1, "partition must last some time");
+            assert!(
+                p.minority_fraction > 0.0 && p.minority_fraction <= 0.5,
+                "minority fraction must be in (0, 0.5]"
+            );
+        }
+        for d in &self.degradations {
+            assert!(d.duration_ms >= 1, "degradation must last some time");
+            assert!(
+                (0.0..=1.0).contains(&d.extra_loss),
+                "extra loss out of range"
+            );
+        }
+        for o in &self.contract_outages {
+            assert!(o.duration_ms >= 1, "outage must last some time");
+        }
+    }
+}
+
 /// The targeted censorship-eclipse attack: peer 0 (the victim) is
 /// bootstrapped **exclusively** to `attackers` adversarial peers, and no
 /// honest peer knows the victim. The attackers answer all control
@@ -175,6 +357,11 @@ pub struct ScenarioSpec {
     pub spam: Option<SpamSpec>,
     /// Churn schedule (must be sorted by `at_ms`; the engine asserts).
     pub churn: Vec<ChurnEvent>,
+    /// Deterministic fault-injection plan (crash→restart cycles,
+    /// partitions, link-degradation bursts, contract outages). Empty
+    /// disables fault injection and leaves every `resilience_*` report
+    /// field `null`.
+    pub faults: FaultPlan,
     /// Targeted eclipse attack, if any.
     pub eclipse: Option<EclipseSpec>,
     /// Colluding passive-surveillance adversary, if any. Enables the
@@ -234,6 +421,7 @@ impl ScenarioSpec {
             },
             spam: None,
             churn: Vec::new(),
+            faults: FaultPlan::default(),
             eclipse: None,
             surveillance: None,
             publish_jitter_ms: 0,
@@ -294,7 +482,8 @@ impl ScenarioSpec {
             + self.traffic.interval_ms * self.traffic.rounds.saturating_sub(1) as u64;
         let last_spam = self.spam.map(|s| s.at_ms).unwrap_or(0);
         let last_churn = self.churn.last().map(|e| e.at_ms).unwrap_or(0);
-        last_traffic.max(last_spam).max(last_churn) + self.drain_ms
+        let last_fault = self.faults.last_end_ms();
+        last_traffic.max(last_spam).max(last_churn).max(last_fault) + self.drain_ms
     }
 
     /// Checks internal consistency.
@@ -311,6 +500,7 @@ impl ScenarioSpec {
             self.churn.windows(2).all(|w| w[0].at_ms <= w[1].at_ms),
             "churn schedule must be sorted by time"
         );
+        self.faults.validate();
         if let Some(e) = self.eclipse {
             assert!(e.attackers >= 1, "eclipse needs at least one attacker");
             assert!(
@@ -419,6 +609,81 @@ mod tests {
             observer_fraction: 0.0,
         });
         spec.validate();
+    }
+
+    fn small_fault_plan() -> FaultPlan {
+        FaultPlan {
+            restarts: vec![RestartEvent {
+                at_ms: 20_000,
+                peers: 2,
+                downtime_ms: 10_000,
+                warm: true,
+            }],
+            partitions: vec![PartitionEvent {
+                at_ms: 40_000,
+                heal_after_ms: 20_000,
+                minority_fraction: 0.3,
+            }],
+            degradations: vec![DegradationEvent {
+                at_ms: 70_000,
+                duration_ms: 10_000,
+                extra_loss: 0.1,
+                extra_latency_ms: 50,
+            }],
+            contract_outages: vec![ContractOutageEvent {
+                at_ms: 75_000,
+                duration_ms: 25_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn fault_plan_windows_and_duration_fold_into_the_spec() {
+        let plan = small_fault_plan();
+        plan.validate();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.windows().len(), 4);
+        assert_eq!(plan.last_end_ms(), 100_000);
+        let mut spec = ScenarioSpec::baseline(8, 1);
+        let quiet_duration = spec.duration_ms();
+        spec.faults = plan;
+        spec.validate();
+        assert_eq!(spec.duration_ms(), 100_000 + spec.drain_ms);
+        assert!(spec.duration_ms() > quiet_duration);
+        // an empty plan keeps the quiet duration — schema-stable reports
+        spec.faults = FaultPlan::default();
+        assert!(spec.faults.is_empty());
+        assert_eq!(spec.faults.last_end_ms(), 0);
+        assert_eq!(spec.duration_ms(), quiet_duration);
+    }
+
+    #[test]
+    #[should_panic(expected = "minority fraction must be in (0, 0.5]")]
+    fn majority_partition_rejected() {
+        let mut plan = small_fault_plan();
+        plan.partitions[0].minority_fraction = 0.6;
+        plan.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "restart schedule must be sorted")]
+    fn unsorted_restarts_rejected() {
+        let mut plan = small_fault_plan();
+        plan.restarts.push(RestartEvent {
+            at_ms: 1_000,
+            peers: 1,
+            downtime_ms: 1_000,
+            warm: false,
+        });
+        plan.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "extra loss out of range")]
+    fn degradation_loss_out_of_range_rejected() {
+        let mut plan = small_fault_plan();
+        plan.degradations[0].extra_loss = 1.5;
+        plan.validate();
     }
 
     #[test]
