@@ -10,6 +10,8 @@
 //!                         [--spam-rate PCT] [--churn-rate PCT]
 //!                         [--adversary-fraction PCT1,PCT2,..]
 //!                         [--publish-jitter MS] [--out PATH]
+//! simctl soak [--sim-hours H] [--checkpoint-every N] [--nodes N]
+//!             [--seed S] [--threads T] [--out PATH]
 //! ```
 //!
 //! `run` executes one built-in scenario (default 1000 nodes, seed 2022)
@@ -25,14 +27,25 @@
 //! `--progress` prints per-simulated-second throughput to stderr so long
 //! 10k-node runs are not silent. See `docs/SCENARIOS.md`.
 //!
+//! `soak` runs the simulated-days leak harness
+//! (`wakurln_scenarios::soak`): `--sim-hours` simulated hours of
+//! continuous traffic in one-hour segments, streaming one JSONL
+//! [`SoakDelta`](wakurln_scenarios::SoakDelta) line per segment and
+//! checkpointing the whole world by deep clone every
+//! `--checkpoint-every` segments (each restored checkpoint must replay
+//! byte-identical to the live run). Exits nonzero when a boundedness
+//! invariant or a checkpoint replay fails.
+//!
 //! When a run's drain hard-stops with more events queued than the
 //! steady-state timer load of a live mesh, `simctl` prints a warning and
 //! exits nonzero (after emitting the report): the network did not
 //! settle, so downstream consumers should not trust the tail metrics.
 
+use wakurln_scenarios::soak::run_soak_bounded;
 use wakurln_scenarios::{
     builtin, run_scenario, run_scenario_with_progress, ChurnAction, ChurnEvent, Progress,
-    ScenarioReport, ScenarioSpec, SpamSpec, SurveillanceSpec, BUILTIN_NAMES,
+    ScenarioReport, ScenarioSpec, SoakBounds, SoakConfig, SpamSpec, SurveillanceSpec,
+    BUILTIN_NAMES,
 };
 
 fn usage() -> ! {
@@ -45,6 +58,8 @@ fn usage() -> ! {
     eprintln!("                               [--spam-rate PCT] [--churn-rate PCT]");
     eprintln!("                               [--adversary-fraction PCT1,PCT2,..]");
     eprintln!("                               [--publish-jitter MS] [--out PATH]");
+    eprintln!("       simctl soak [--sim-hours H] [--checkpoint-every N] [--nodes N]");
+    eprintln!("                   [--seed S] [--threads T] [--out PATH]");
     eprintln!("scenarios: {}", BUILTIN_NAMES.join(", "));
     std::process::exit(2)
 }
@@ -252,6 +267,10 @@ fn main() {
         }
         return;
     }
+    if command == "soak" {
+        run_soak_command(&args[1..]);
+        return;
+    }
     if command != "run" && command != "sweep" {
         usage();
     }
@@ -396,6 +415,101 @@ fn main() {
     json.push_str("]\n");
     emit(&json, out_path.as_deref());
     if hard_stopped {
+        std::process::exit(1);
+    }
+}
+
+/// The `soak` subcommand: simulated-days leak harness with streaming
+/// JSONL deltas and checkpoint/restore byte-identity verification.
+fn run_soak_command(args: &[String]) {
+    let mut config = SoakConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut rest = args.iter();
+    while let Some(flag) = rest.next() {
+        let mut value = |what: &str| -> String {
+            rest.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_u64 = |raw: String, what: &str| -> u64 {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("{what} needs an integer, got: {raw}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--sim-hours" => {
+                config.total_ms = parse_u64(value("--sim-hours"), "--sim-hours") * 3_600_000
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every =
+                    parse_u64(value("--checkpoint-every"), "--checkpoint-every")
+            }
+            "--nodes" => config.nodes = parse_u64(value("--nodes"), "--nodes") as usize,
+            "--seed" => config.seed = parse_u64(value("--seed"), "--seed"),
+            "--threads" => config.threads = parse_u64(value("--threads"), "--threads") as usize,
+            "--out" => out_path = Some(value("--out")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if config.nodes < 2 || config.segments() == 0 {
+        eprintln!("soak needs at least 2 nodes and 1 simulated hour");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "soaking {} peers for {} simulated hours (checkpoint every {} segments), seed {}...",
+        config.nodes,
+        config.total_ms / 3_600_000,
+        config.checkpoint_every,
+        config.seed,
+    );
+    let started = std::time::Instant::now();
+    let mut lines = String::new();
+    let outcome = run_soak_bounded(&config, &SoakBounds::default(), &mut |delta| {
+        let line = delta.to_json_line();
+        println!("{line}");
+        lines.push_str(&line);
+        lines.push('\n');
+        eprintln!(
+            "  segment {}/{}: sim {}h, {} published, {} delivered, nullifier max {} B{}",
+            delta.segment + 1,
+            config.segments(),
+            delta.sim_ms / 3_600_000,
+            delta.published,
+            delta.deliveries,
+            delta.nullifier_map_max_bytes,
+            if delta.checkpoint_verified {
+                " [checkpoint verified]"
+            } else {
+                ""
+            },
+        );
+    });
+    if let Some(path) = &out_path {
+        std::fs::write(path, &lines).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+    eprintln!(
+        "soak done: {} simulated hours, {} segments, {} checkpoints verified, \
+         {} published, {} delivered, wall {:.1}s",
+        outcome.sim_ms / 3_600_000,
+        outcome.segments,
+        outcome.checkpoints_verified,
+        outcome.published,
+        outcome.deliveries,
+        started.elapsed().as_secs_f64(),
+    );
+    if !outcome.clean() {
+        for v in &outcome.violations {
+            eprintln!("violation: {v}");
+        }
         std::process::exit(1);
     }
 }

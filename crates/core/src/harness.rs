@@ -91,7 +91,10 @@ impl Default for TestbedConfig {
     }
 }
 
-/// The assembled testbed.
+/// The assembled testbed. `Clone` deep-copies the entire simulation
+/// (network, chain, mirror group, replay log, RNG) — the checkpoint
+/// primitive behind the soak harness's restore-and-replay checks.
+#[derive(Clone)]
 pub struct Testbed {
     /// The peer network.
     pub net: Network<RlnRelayNode>,

@@ -54,6 +54,7 @@ impl From<ProveError> for PublishError {
 /// Peers keep the membership tree **off-chain** (§III): this node uses the
 /// O(depth) [`SyncedPathTree`], updated from contract events delivered by
 /// the harness, so a depth-20 group costs ~1.3 KB instead of 67 MB (E3).
+#[derive(Clone)]
 pub struct RlnRelayNode {
     relay: WakuRelayNode<RlnValidator>,
     tree: SyncedPathTree,
@@ -332,6 +333,13 @@ impl RlnRelayNode {
     /// The underlying relay node (mesh/scoring diagnostics).
     pub fn relay(&self) -> &WakuRelayNode<RlnValidator> {
         &self.relay
+    }
+
+    /// Mutable access to the relay layer (the soak harness drains the
+    /// gossipsub delivery tape through this so day-long runs don't
+    /// accumulate an unbounded delivery log).
+    pub fn relay_mut(&mut self) -> &mut WakuRelayNode<RlnValidator> {
+        &mut self.relay
     }
 
     /// Switches the passive observer tap (the colluding-surveillance

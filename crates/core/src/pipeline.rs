@@ -262,6 +262,12 @@ impl PipelineState {
         self.stats
     }
 
+    /// Entries currently held in the proof-verdict cache across all epoch
+    /// shards (a boundedness series for the soak harness).
+    pub(crate) fn cache_len(&self) -> usize {
+        self.cache.len
+    }
+
     pub(crate) fn flush_due(&self) -> bool {
         self.queue.len() >= self.config.max_batch
     }

@@ -10,86 +10,39 @@
 //!    key and queue slashing evidence.
 //!
 //! The message is relayed only if all checks pass.
+//!
+//! Since the model-crate extraction, the order-sensitive stateful core
+//! (steps 2–3 plus statistics, slashing enqueue and GC) is the **pure
+//! transition function** [`wakurln_model::step`]; [`RlnValidator`] is a
+//! thin stateful wrapper holding one [`wakurln_model::State`] plus the
+//! things the model deliberately excludes — the verifying key (summarized
+//! into the model's `proof_ok` input bit by the stateless stage) and the
+//! batching pipeline. The equivalence suite in
+//! `tests/model_equivalence.rs` holds the wrapper to the model bit for
+//! bit.
 
 use crate::codec::{decode_signal, WireSignal};
 use crate::epoch::EpochScheme;
-use crate::nullifier_map::{NullifierMap, NullifierOutcome};
 use crate::pipeline::{PipelineConfig, PipelineState, PipelineStats};
-use std::collections::VecDeque;
 use wakurln_crypto::field::Fr;
 use wakurln_gossipsub::{BatchDecision, SubmitOutcome, Topic, ValidationResult, Validator};
+use wakurln_model::{apply_signal, Outcome, State};
 use wakurln_relay::WakuMessage;
-use wakurln_rln::{analyze_double_signal, build_evidence, DoubleSignalOutcome, SlashingEvidence};
 use wakurln_rln::{verify_signal, SignalValidity};
 use wakurln_zksnark::VerifyingKey;
 
-/// Modeled per-check CPU costs in microseconds, used for the
-/// resource-restricted-device accounting (E6/E9). Defaults follow the
-/// paper's §IV numbers ("Proof verification run time is constant and takes
-/// ≈ 30ms" on an iPhone 8).
-#[derive(Clone, Copy, Debug)]
-pub struct CostModel {
-    /// One zkSNARK proof verification.
-    pub verify_proof_micros: u64,
-    /// One epoch comparison.
-    pub epoch_check_micros: u64,
-    /// One nullifier-map lookup + insert.
-    pub nullifier_check_micros: u64,
-    /// One secret reconstruction (two Shamir shares).
-    pub reconstruct_micros: u64,
-}
+pub use wakurln_model::{CostModel, SpamDetection, ValidationStats};
 
-impl Default for CostModel {
-    fn default() -> CostModel {
-        CostModel {
-            verify_proof_micros: 30_000,
-            epoch_check_micros: 1,
-            nullifier_check_micros: 5,
-            reconstruct_micros: 100,
-        }
-    }
-}
-
-/// Why a message was dropped (or accepted) — per-counter statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ValidationStats {
-    /// Accepted and relayed.
-    pub valid: u64,
-    /// Undecodable payloads.
-    pub malformed: u64,
-    /// zkSNARK verification failures (incl. unknown roots).
-    pub invalid_proof: u64,
-    /// Epoch outside the `Thr` window.
-    pub epoch_out_of_window: u64,
-    /// Exact duplicates (same nullifier, same share).
-    pub duplicates: u64,
-    /// Double-signaling caught.
-    pub spam_detected: u64,
-}
-
-/// A caught spammer, ready for on-chain slashing.
-#[derive(Clone, Debug, PartialEq)]
-pub struct SpamDetection {
-    /// Contract-ready evidence (revealed secret + commitment).
-    pub evidence: SlashingEvidence,
-    /// Epoch number of the violation.
-    pub epoch: u64,
-}
-
-/// The RLN validator state held by every routing peer.
+/// The RLN validator state held by every routing peer: one pure
+/// [`model state`](wakurln_model::State) driven through
+/// [`wakurln_model::apply`], plus the verifying key for the stateless
+/// proof stage and the optional batching pipeline.
 #[derive(Clone, Debug)]
 pub struct RlnValidator {
     verifying_key: VerifyingKey,
-    epoch_scheme: EpochScheme,
-    /// Roots this peer currently accepts. A small window of recent roots
-    /// (not just the latest) tolerates proofs generated moments before a
-    /// membership change — the group-synchronization reality of §III.
-    accepted_roots: VecDeque<Fr>,
-    root_window: usize,
-    nullifier_map: NullifierMap,
-    detections: Vec<SpamDetection>,
-    stats: ValidationStats,
-    cost: CostModel,
+    /// The model-checked protocol state (roots, nullifier map,
+    /// detections, statistics).
+    state: State,
     last_cost: u64,
     /// Batched-validation state; `None` runs the serial per-message path.
     pipeline: Option<Box<PipelineState>>,
@@ -104,17 +57,9 @@ impl RlnValidator {
         initial_root: Fr,
         cost: CostModel,
     ) -> RlnValidator {
-        let mut accepted_roots = VecDeque::new();
-        accepted_roots.push_back(initial_root);
         RlnValidator {
             verifying_key,
-            epoch_scheme,
-            accepted_roots,
-            root_window: 8,
-            nullifier_map: NullifierMap::new(),
-            detections: Vec::new(),
-            stats: ValidationStats::default(),
-            cost,
+            state: State::new(epoch_scheme, initial_root, cost),
             last_cost: 0,
             pipeline: None,
         }
@@ -140,21 +85,29 @@ impl RlnValidator {
         self.pipeline.as_ref().map(|p| p.stats())
     }
 
+    /// Number of entries in the pipeline's proof-verdict cache (`None`
+    /// while in serial mode) — a boundedness series for the soak
+    /// harness.
+    pub fn verdict_cache_len(&self) -> Option<usize> {
+        self.pipeline.as_ref().map(|p| p.cache_len())
+    }
+
+    /// The pure protocol state this wrapper drives — everything the
+    /// §III decision core reads or writes. Equivalence tests compare
+    /// these snapshots across implementations.
+    pub fn model_state(&self) -> &State {
+        &self.state
+    }
+
     /// Registers a new membership root (called on every contract event the
     /// peer syncs). Keeps the last `root_window` roots acceptable.
     pub fn push_root(&mut self, root: Fr) {
-        if self.accepted_roots.back() == Some(&root) {
-            return;
-        }
-        self.accepted_roots.push_back(root);
-        while self.accepted_roots.len() > self.root_window {
-            self.accepted_roots.pop_front();
-        }
+        self.state.push_root(root);
     }
 
     /// The most recent root.
     pub fn current_root(&self) -> Fr {
-        *self.accepted_roots.back().expect("never empty")
+        self.state.current_root()
     }
 
     /// Sets how many recent roots remain acceptable (default 8). A window
@@ -166,11 +119,7 @@ impl RlnValidator {
     ///
     /// Panics if `window` is zero.
     pub fn set_root_window(&mut self, window: usize) {
-        assert!(window >= 1, "window must hold at least the current root");
-        self.root_window = window;
-        while self.accepted_roots.len() > window {
-            self.accepted_roots.pop_front();
-        }
+        self.state.set_root_window(window);
     }
 
     /// Crash-recovery reset (a **cold** restart): drops every piece of
@@ -182,10 +131,7 @@ impl RlnValidator {
     /// counts. The subsequent group resync (event replay) rebuilds the
     /// root window to match the live network's.
     pub fn reset_state(&mut self, initial_root: Fr) {
-        self.accepted_roots.clear();
-        self.accepted_roots.push_back(initial_root);
-        self.nullifier_map = NullifierMap::new();
-        self.detections.clear();
+        self.state.reset(initial_root);
         self.last_cost = 0;
         if let Some(pipeline) = &self.pipeline {
             let config = *pipeline.config();
@@ -195,28 +141,28 @@ impl RlnValidator {
 
     /// Validation statistics so far.
     pub fn stats(&self) -> ValidationStats {
-        self.stats
+        self.state.stats
     }
 
     /// Caught spammers not yet drained (the node submits these to the
     /// chain and clears the queue).
     pub fn detections(&self) -> &[SpamDetection] {
-        &self.detections
+        &self.state.detections
     }
 
     /// Drains the detection queue.
     pub fn take_detections(&mut self) -> Vec<SpamDetection> {
-        std::mem::take(&mut self.detections)
+        std::mem::take(&mut self.state.detections)
     }
 
     /// The epoch scheme in use.
     pub fn epoch_scheme(&self) -> EpochScheme {
-        self.epoch_scheme
+        self.state.epoch_scheme
     }
 
     /// Current nullifier-map footprint in bytes (E8).
     pub fn nullifier_map_bytes(&self) -> usize {
-        self.nullifier_map.memory_bytes()
+        self.state.nullifier_map.memory_bytes()
     }
 
     /// Validates a decoded wire signal at local time `now_ms`. Exposed for
@@ -253,7 +199,7 @@ impl RlnValidator {
     /// Stage 1 — stateless checks: the proof root is in the accepted
     /// window and the signal (share binding + zkSNARK proof) verifies.
     fn check_stateless(&self, wire: &WireSignal) -> bool {
-        self.accepted_roots.contains(&wire.signal.root)
+        self.state.root_accepted(&wire.signal.root)
             && verify_signal(&self.verifying_key, wire.signal.root, &wire.signal)
                 == SignalValidity::Valid
     }
@@ -262,7 +208,7 @@ impl RlnValidator {
     /// cheap half of the stateless stage; the pipeline snapshots it at
     /// arrival time, exactly when the serial path would evaluate it).
     pub(crate) fn root_accepted(&self, root: &Fr) -> bool {
-        self.accepted_roots.contains(root)
+        self.state.root_accepted(root)
     }
 
     /// The shared verifying key (pipeline batch verification).
@@ -272,7 +218,7 @@ impl RlnValidator {
 
     /// The device cost model in effect.
     pub(crate) fn cost_model(&self) -> CostModel {
-        self.cost
+        self.state.cost
     }
 
     /// Stage 2 — stateful checks (epoch window, nullifier map) plus cost
@@ -283,88 +229,40 @@ impl RlnValidator {
         wire: &WireSignal,
         proof_ok: bool,
     ) -> ValidationResult {
-        self.decide(now_ms, wire, proof_ok, self.cost.verify_proof_micros)
+        let verify_cost = self.state.cost.verify_proof_micros;
+        self.decide(now_ms, wire, proof_ok, verify_cost)
     }
 
     /// The order-sensitive stateful core shared by the serial path and the
-    /// batched pipeline: epoch window, nullifier map, double-signal
-    /// analysis, statistics and cost accounting. `verify_cost` is the
-    /// simulated CPU the caller actually spent on the stateless stage for
-    /// this message (full proof verification serially; a cache/dedup probe
-    /// when the pipeline skipped the zkSNARK), so batched runs report
-    /// amortized per-device cost while producing identical outcomes.
-    pub(crate) fn decide(
+    /// batched pipeline — one transition of the pure model
+    /// ([`wakurln_model::apply`]): epoch window, nullifier map,
+    /// double-signal analysis, statistics and cost accounting.
+    /// `verify_cost` is the simulated CPU the caller actually spent on the
+    /// stateless stage for this message (full proof verification serially;
+    /// a cache/dedup probe when the pipeline skipped the zkSNARK), so
+    /// batched runs report amortized per-device cost while producing
+    /// identical outcomes.
+    pub fn decide(
         &mut self,
         now_ms: u64,
         wire: &WireSignal,
         proof_ok: bool,
         verify_cost: u64,
     ) -> ValidationResult {
-        let mut cost = 0;
-
-        // 1. proof verification (root must be one we accept)
-        cost += verify_cost;
-        if !proof_ok {
-            self.stats.invalid_proof += 1;
-            self.last_cost = cost;
-            return ValidationResult::Reject;
-        }
-
-        // 2. epoch window
-        cost += self.cost.epoch_check_micros;
-        let local_epoch = self.epoch_scheme.epoch_at_ms(now_ms);
-        if !self.epoch_scheme.within_window(local_epoch, wire.epoch) {
-            self.stats.epoch_out_of_window += 1;
-            self.last_cost = cost;
-            // an honest-but-late relay is indistinguishable from a replay
-            // attacker here; drop without scoring penalty
-            return ValidationResult::Ignore;
-        }
-
-        // 3. nullifier map
-        cost += self.cost.nullifier_check_micros;
-        let outcome = self.nullifier_map.insert(
+        let verdict = apply_signal(
+            &mut self.state,
+            now_ms,
             wire.epoch,
-            wire.signal.internal_nullifier,
-            wire.signal.share,
+            &wire.signal,
+            proof_ok,
+            verify_cost,
         );
-        self.nullifier_map
-            .gc(local_epoch, self.epoch_scheme.threshold());
-        let result = match outcome {
-            NullifierOutcome::Fresh => {
-                self.stats.valid += 1;
-                ValidationResult::Accept
-            }
-            NullifierOutcome::DuplicateMessage => {
-                self.stats.duplicates += 1;
-                ValidationResult::Ignore
-            }
-            NullifierOutcome::DoubleSignal { prior_share } => {
-                cost += self.cost.reconstruct_micros;
-                self.stats.spam_detected += 1;
-                // rebuild the prior signal's share pair for reconstruction
-                let mut prior = wire.signal.clone();
-                prior.share = prior_share;
-                match analyze_double_signal(&prior, &wire.signal) {
-                    DoubleSignalOutcome::SecretRecovered(sk) => {
-                        if let Some(evidence) = build_evidence(sk, &wire.signal) {
-                            self.detections.push(SpamDetection {
-                                evidence,
-                                epoch: wire.epoch,
-                            });
-                        }
-                    }
-                    DoubleSignalOutcome::Duplicate | DoubleSignalOutcome::InconsistentShares => {
-                        // cannot happen for proof-verified signals: the
-                        // circuit pins y to x, and distinct shares imply
-                        // distinct x
-                    }
-                }
-                ValidationResult::Reject
-            }
-        };
-        self.last_cost = cost;
-        result
+        self.last_cost = verdict.cost_micros;
+        match verdict.outcome {
+            Outcome::Accept => ValidationResult::Accept,
+            Outcome::Ignore => ValidationResult::Ignore,
+            Outcome::Reject => ValidationResult::Reject,
+        }
     }
 }
 
@@ -376,8 +274,8 @@ impl RlnValidator {
             .ok()
             .and_then(|waku| decode_signal(&waku.payload).ok());
         if wire.is_none() {
-            self.stats.malformed += 1;
-            self.last_cost = self.cost.epoch_check_micros;
+            self.state.stats.malformed += 1;
+            self.last_cost = self.state.cost.epoch_check_micros;
         }
         wire
     }
@@ -591,6 +489,8 @@ mod tests {
         assert_eq!(batch_results, seq_results);
         assert_eq!(f.validator.stats(), sequential.stats());
         assert_eq!(f.validator.detections(), sequential.detections());
+        // the whole model state agrees, not just its observable slices
+        assert_eq!(f.validator.model_state(), sequential.model_state());
         assert_eq!(f.validator.stats().spam_detected, 1);
         assert_eq!(f.validator.stats().invalid_proof, 1);
     }
@@ -650,8 +550,8 @@ mod tests {
         for i in 0..20u64 {
             f.validator.push_root(Fr::from_u64(i));
         }
-        assert!(!f.validator.accepted_roots.contains(&original_root));
-        assert!(f.validator.accepted_roots.len() <= 8);
+        assert!(!f.validator.model_state().root_accepted(&original_root));
+        assert!(f.validator.model_state().accepted_roots.len() <= 8);
     }
 
     #[test]

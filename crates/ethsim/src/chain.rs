@@ -61,6 +61,7 @@ impl std::fmt::Display for ChainError {
 
 impl std::error::Error for ChainError {}
 
+#[derive(Clone)]
 struct Balances {
     accounts: HashMap<Address, Wei>,
 }
@@ -95,6 +96,7 @@ impl BalanceEnv for Balances {
 /// chain.advance_to(12); // one block interval later…
 /// assert_eq!(chain.membership().active_count(), 1);
 /// ```
+#[derive(Clone)]
 pub struct Chain {
     config: ChainConfig,
     time: u64,

@@ -153,6 +153,7 @@ pub struct Delivery {
 /// See the crate-level docs for a complete small-network example; unit
 /// tests in this module exercise mesh formation, gossip recovery and
 /// score-based defenses.
+#[derive(Clone)]
 pub struct GossipsubNode<V: Validator> {
     config: GossipsubConfig,
     /// Peers we can open connections to (bootstrap set).

@@ -46,6 +46,19 @@ impl PeerScore {
         &self.config
     }
 
+    /// Number of peers with score-tracking state. The table must track
+    /// the peer set, not message volume — the soak harness holds it to
+    /// that bound over simulated days.
+    pub fn tracked_len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The tracked peers, in unspecified order (diagnostics: score
+    /// extremes, table-boundedness checks).
+    pub fn tracked_peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.peers.keys().copied()
+    }
+
     /// Computes a peer's current score.
     pub fn score(&self, peer: NodeId) -> f64 {
         let Some(c) = self.peers.get(&peer) else {

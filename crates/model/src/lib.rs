@@ -1,0 +1,66 @@
+//! # wakurln-model
+//!
+//! The model-checked protocol core of WAKU-RLN-RELAY
+//! (*Privacy-Preserving Spam-Protected Gossip-Based Routing*, ICDCS
+//! 2022): the §III routing-validation decision logic — epoch window,
+//! nullifier lookup, double-signal share pairing, slashing-evidence
+//! construction and window GC — extracted into a **pure transition
+//! function**
+//!
+//! ```text
+//! step : (State, Input) -> (State, Verdict)
+//! ```
+//!
+//! with no RNG, no clocks and no I/O. Time enters only through
+//! [`Input::now_ms`]; every other source of nondeterminism is outside
+//! the model. The stateful `RlnValidator` in `waku-rln-relay` is a thin
+//! wrapper over [`apply`] (the in-place form of [`step`]), so whatever
+//! the trace fuzzer proves about this crate holds for the production
+//! validator bit for bit — a property the equivalence suite in
+//! `tests/model_equivalence.rs` enforces.
+//!
+//! Layout:
+//!
+//! * [`epoch`] — epochs as external nullifiers and the `Thr = ⌈D/T⌉`
+//!   window (shared with the core crate, which re-exports it),
+//! * [`nullifier_map`] — the windowed `(epoch, φ) → [sk]` record
+//!   (likewise shared),
+//! * [`machine`] — [`State`], [`Input`], [`Verdict`] and the
+//!   transition function itself,
+//! * [`trace`] — the adversarial schedule generator, the machine-read
+//!   invariant checker, the delta-debugging shrinker and the
+//!   line-based corpus format replayed from `tests/corpus/` in CI.
+//!
+//! This crate deliberately has **no dependency** on the network
+//! simulator or the gossip layer: the model must stay runnable in
+//! milliseconds, millions of steps at a time.
+//!
+//! # Example
+//!
+//! ```
+//! use wakurln_model::{apply, EpochScheme, Input, Outcome, State, CostModel};
+//! use wakurln_model::trace::{fabricate_input, TraceParams, TraceStep};
+//! use wakurln_crypto::field::Fr;
+//!
+//! let params = TraceParams { epoch_secs: 10, max_delay_ms: 20_000, members: 2 };
+//! let mut state = State::new(params.scheme(), Fr::from_u64(1), CostModel::default());
+//! let step = TraceStep { now_ms: 1_000, member: 0, epoch: state.epoch_scheme.epoch_at_ms(1_000), msg: 0, proof_ok: true };
+//! let verdict = apply(&mut state, &fabricate_input(&params, &step));
+//! assert_eq!(verdict.outcome, Outcome::Accept);
+//! assert_eq!(state.stats.valid, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod epoch;
+pub mod machine;
+pub mod nullifier_map;
+pub mod trace;
+
+pub use epoch::EpochScheme;
+pub use machine::{
+    apply, apply_signal, step, CostModel, Input, Outcome, SpamDetection, State, ValidationStats,
+    Verdict,
+};
+pub use nullifier_map::{NullifierMap, NullifierOutcome};

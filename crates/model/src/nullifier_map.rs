@@ -1,0 +1,266 @@
+//! The nullifier map: windowed double-signaling detection state.
+//!
+//! §III: "each routing peer locally keeps a record of the secret key share
+//! `[sk]` and the internal nullifier `φ` of all of its incoming messages
+//! for the past `Thr` epochs. This list is called a nullifier map. The
+//! routing peer checks every new message against this list to spot spam
+//! messages i.e., messages with identical internal nullifiers. Note that
+//! the nullifier map suffices to hold messages that belong to the last
+//! `Thr` epochs because older messages are considered invalid by default."
+
+use std::collections::{BTreeMap, HashMap};
+use wakurln_crypto::field::Fr;
+use wakurln_crypto::shamir::Share;
+
+/// What inserting a signal's nullifier revealed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NullifierOutcome {
+    /// First signal seen for this `(epoch, φ)` — the member's one allowed
+    /// message.
+    Fresh,
+    /// Same nullifier with the *identical* share — a gossip duplicate of
+    /// the same message, not a rate violation.
+    DuplicateMessage,
+    /// Same nullifier, different share point: double-signaling. Carries
+    /// the previously recorded share, ready for secret reconstruction.
+    DoubleSignal {
+        /// The share recorded when the nullifier was first seen.
+        prior_share: Share,
+    },
+}
+
+/// The windowed `(epoch, φ) → [sk]` record.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NullifierMap {
+    /// epoch → (nullifier bytes → first-seen share)
+    epochs: BTreeMap<u64, HashMap<[u8; 32], Share>>,
+}
+
+impl NullifierMap {
+    /// Creates an empty map.
+    pub fn new() -> NullifierMap {
+        NullifierMap::default()
+    }
+
+    /// Records a signal's `(epoch, φ, [sk])`, reporting whether it is
+    /// fresh, a duplicate, or a double-signal.
+    pub fn insert(&mut self, epoch: u64, nullifier: Fr, share: Share) -> NullifierOutcome {
+        let slot = self.epochs.entry(epoch).or_default();
+        match slot.get(&nullifier.to_bytes_le()) {
+            None => {
+                slot.insert(nullifier.to_bytes_le(), share);
+                NullifierOutcome::Fresh
+            }
+            Some(prior) if *prior == share => NullifierOutcome::DuplicateMessage,
+            Some(prior) => NullifierOutcome::DoubleSignal {
+                prior_share: *prior,
+            },
+        }
+    }
+
+    /// Drops every epoch older than `current_epoch − thr` (the paper's
+    /// bounded-state property: older messages are epoch-invalid anyway).
+    ///
+    /// Runs on every validated message, so the common nothing-to-drop
+    /// case returns before touching the tree (`split_off` would otherwise
+    /// reallocate the map once per message on the relay hot path).
+    pub fn gc(&mut self, current_epoch: u64, thr: u64) {
+        let cutoff = current_epoch.saturating_sub(thr);
+        match self.epochs.keys().next() {
+            Some(oldest) if *oldest < cutoff => {
+                self.epochs = self.epochs.split_off(&cutoff);
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of epochs currently tracked.
+    pub fn tracked_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// The tracked epoch numbers in ascending order (the trace harness's
+    /// boundedness and GC invariants quantify over these).
+    pub fn epoch_numbers(&self) -> impl Iterator<Item = u64> + '_ {
+        self.epochs.keys().copied()
+    }
+
+    /// Number of `(epoch, φ)` entries recorded for one epoch (0 when the
+    /// epoch is not tracked).
+    pub fn entries_at(&self, epoch: u64) -> usize {
+        self.epochs.get(&epoch).map_or(0, HashMap::len)
+    }
+
+    /// Number of `(epoch, φ)` entries currently stored.
+    pub fn len(&self) -> usize {
+        self.epochs.values().map(HashMap::len).sum()
+    }
+
+    /// `true` when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes (epoch key + nullifier + share per
+    /// entry) — the E8 memory series.
+    pub fn memory_bytes(&self) -> usize {
+        self.epochs.len() * 8 + self.len() * (32 + 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn share(x: u64, y: u64) -> Share {
+        Share {
+            x: Fr::from_u64(x),
+            y: Fr::from_u64(y),
+        }
+    }
+
+    #[test]
+    fn fresh_then_duplicate_then_double() {
+        let mut map = NullifierMap::new();
+        let phi = Fr::from_u64(99);
+        assert_eq!(map.insert(1, phi, share(1, 2)), NullifierOutcome::Fresh);
+        assert_eq!(
+            map.insert(1, phi, share(1, 2)),
+            NullifierOutcome::DuplicateMessage
+        );
+        assert_eq!(
+            map.insert(1, phi, share(3, 4)),
+            NullifierOutcome::DoubleSignal {
+                prior_share: share(1, 2)
+            }
+        );
+    }
+
+    #[test]
+    fn same_nullifier_different_epochs_is_fresh() {
+        let mut map = NullifierMap::new();
+        let phi = Fr::from_u64(99);
+        assert_eq!(map.insert(1, phi, share(1, 2)), NullifierOutcome::Fresh);
+        assert_eq!(map.insert(2, phi, share(1, 2)), NullifierOutcome::Fresh);
+    }
+
+    #[test]
+    fn different_members_same_epoch_coexist() {
+        let mut map = NullifierMap::new();
+        assert_eq!(
+            map.insert(1, Fr::from_u64(10), share(1, 2)),
+            NullifierOutcome::Fresh
+        );
+        assert_eq!(
+            map.insert(1, Fr::from_u64(11), share(3, 4)),
+            NullifierOutcome::Fresh
+        );
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn gc_bounds_state_to_thr_epochs() {
+        let mut map = NullifierMap::new();
+        for epoch in 0..100 {
+            map.insert(epoch, Fr::from_u64(epoch), share(epoch, 1));
+        }
+        map.gc(99, 2);
+        assert_eq!(map.tracked_epochs(), 3); // epochs 97, 98, 99
+        assert!(map.memory_bytes() < 100 * (32 + 64));
+    }
+
+    /// Pins the exact window boundary: the cutoff is
+    /// `current_epoch - thr`, and an epoch **equal** to the cutoff
+    /// SURVIVES — `gc` drops strictly-older epochs only. §III counts
+    /// "the past `Thr` epochs" inclusive of the boundary: a message
+    /// `thr` epochs old is still epoch-valid (`within_window` accepts
+    /// `|local - epoch| <= thr`), so its double-signal record must
+    /// still be around to catch a conflicting share. The corpus trace
+    /// `tests/corpus/gc_boundary.trace` pins the same edge end-to-end.
+    #[test]
+    fn gc_keeps_the_epoch_at_the_exact_cutoff_and_drops_the_one_below() {
+        let mut map = NullifierMap::new();
+        for epoch in [97u64, 98, 99, 100] {
+            map.insert(epoch, Fr::from_u64(epoch), share(epoch, 1));
+        }
+        // current = 100, thr = 2 ⇒ cutoff = 98
+        map.gc(100, 2);
+        assert_eq!(map.entries_at(97), 0, "below-cutoff epoch must be dropped");
+        assert_eq!(map.entries_at(98), 1, "epoch == cutoff must survive");
+        assert_eq!(map.entries_at(99), 1);
+        assert_eq!(map.entries_at(100), 1);
+        assert_eq!(map.epoch_numbers().collect::<Vec<_>>(), vec![98, 99, 100]);
+
+        // the surviving boundary entry still detects a double-signal
+        assert_eq!(
+            map.insert(98, Fr::from_u64(98), share(98, 2)),
+            NullifierOutcome::DoubleSignal {
+                prior_share: share(98, 1)
+            }
+        );
+
+        // gc is idempotent at the same clock: nothing further drops
+        map.gc(100, 2);
+        assert_eq!(map.epoch_numbers().collect::<Vec<_>>(), vec![98, 99, 100]);
+
+        // one epoch later the boundary advances by exactly one
+        map.gc(101, 2);
+        assert_eq!(map.epoch_numbers().collect::<Vec<_>>(), vec![99, 100]);
+    }
+
+    #[test]
+    fn gc_with_huge_thr_keeps_everything() {
+        let mut map = NullifierMap::new();
+        for epoch in 0..10 {
+            map.insert(epoch, Fr::from_u64(epoch), share(epoch, 1));
+        }
+        map.gc(9, 1000);
+        assert_eq!(map.tracked_epochs(), 10);
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_entries() {
+        let mut map = NullifierMap::new();
+        map.insert(1, Fr::from_u64(1), share(1, 1));
+        let one = map.memory_bytes();
+        map.insert(1, Fr::from_u64(2), share(2, 2));
+        let two = map.memory_bytes();
+        assert_eq!(two - one, 96);
+    }
+
+    proptest! {
+        /// After gc at any point, no tracked epoch is outside the window.
+        #[test]
+        fn prop_window_invariant(
+            inserts in proptest::collection::vec((0u64..50, any::<u64>()), 1..100),
+            current in 0u64..60,
+            thr in 0u64..5
+        ) {
+            let mut map = NullifierMap::new();
+            for (epoch, nul) in inserts {
+                map.insert(epoch, Fr::from_u64(nul), share(nul, 1));
+            }
+            map.gc(current, thr);
+            for epoch in map.epochs.keys() {
+                prop_assert!(*epoch >= current.saturating_sub(thr));
+            }
+        }
+
+        /// Detection is order-independent for a pair of conflicting shares.
+        #[test]
+        fn prop_double_signal_detected_regardless_of_order(a in 1u64..1000, b in 1001u64..2000) {
+            let phi = Fr::from_u64(7);
+            let mut m1 = NullifierMap::new();
+            m1.insert(1, phi, share(a, a));
+            let r1 = m1.insert(1, phi, share(b, b));
+            let mut m2 = NullifierMap::new();
+            m2.insert(1, phi, share(b, b));
+            let r2 = m2.insert(1, phi, share(a, a));
+            let d1 = matches!(r1, NullifierOutcome::DoubleSignal { .. });
+            let d2 = matches!(r2, NullifierOutcome::DoubleSignal { .. });
+            prop_assert!(d1);
+            prop_assert!(d2);
+        }
+    }
+}

@@ -16,6 +16,16 @@ pub trait LatencyModel: Send {
     /// An upper bound `D` on network delay, used by the protocol to size
     /// the epoch-validation threshold `Thr = D / T` (§III).
     fn max_delay_ms(&self) -> u64;
+
+    /// A boxed deep copy of this model, so whole networks can be
+    /// checkpointed by `Clone` (the soak harness's checkpoint/restore).
+    fn clone_box(&self) -> Box<dyn LatencyModel>;
+}
+
+impl Clone for Box<dyn LatencyModel> {
+    fn clone(&self) -> Box<dyn LatencyModel> {
+        self.clone_box()
+    }
 }
 
 /// Fixed latency for every link.
@@ -28,6 +38,9 @@ impl LatencyModel for ConstantLatency {
     }
     fn max_delay_ms(&self) -> u64 {
         self.0
+    }
+    fn clone_box(&self) -> Box<dyn LatencyModel> {
+        Box::new(*self)
     }
 }
 
@@ -46,6 +59,9 @@ impl LatencyModel for UniformLatency {
     }
     fn max_delay_ms(&self) -> u64 {
         self.max_ms
+    }
+    fn clone_box(&self) -> Box<dyn LatencyModel> {
+        Box::new(*self)
     }
 }
 
@@ -84,6 +100,9 @@ impl LatencyModel for InternetLatency {
     }
     fn max_delay_ms(&self) -> u64 {
         self.base_ms + self.jitter_ms + self.tail_ms
+    }
+    fn clone_box(&self) -> Box<dyn LatencyModel> {
+        Box::new(*self)
     }
 }
 

@@ -78,6 +78,7 @@ type NodeEvents<M> = Vec<(u64, EventKind<M>)>;
 /// One node's mutable simulation state: the protocol machine plus its
 /// private RNG stream. Moved out of the store wholesale when a worker
 /// thread takes over the node for a round.
+#[derive(Clone)]
 pub(crate) struct Slot<N> {
     pub(crate) node: N,
     pub(crate) rng: StdRng,
@@ -87,6 +88,7 @@ pub(crate) struct Slot<N> {
 /// scheduler must hand to exactly one worker at a time lives in a
 /// [`Slot`]; liveness flags stay behind (they are read-only during a
 /// round and consulted while merging sends).
+#[derive(Clone)]
 pub(crate) struct NodeStore<N> {
     slots: Vec<Option<Slot<N>>>,
     active: Vec<bool>,

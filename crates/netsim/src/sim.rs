@@ -77,12 +77,14 @@ pub trait Node: Send {
     fn on_timer(&mut self, ctx: &mut Context<Self::Message>, token: u64);
 }
 
+#[derive(Clone)]
 pub(crate) enum EventKind<M> {
     Deliver { from: NodeId, msg: M },
     Timer { token: u64 },
     Start,
 }
 
+#[derive(Clone)]
 pub(crate) struct QueuedEvent<M> {
     pub(crate) at: u64,
     pub(crate) seq: u64,
@@ -340,6 +342,33 @@ pub struct Network<N: Node> {
     pub(crate) threads: usize,
     pub(crate) dispatched: u64,
     pub(crate) parallel_rounds: u64,
+}
+
+impl<N: Node + Clone> Clone for Network<N> {
+    /// Deep-copies the whole simulation — nodes, queue, RNG streams,
+    /// metrics — producing an independent network that replays
+    /// byte-identically from this instant (the soak harness's
+    /// checkpoint/restore primitive).
+    fn clone(&self) -> Network<N> {
+        Network {
+            nodes: self.nodes.clone(),
+            queue: self.queue.clone(),
+            latency: self.latency.clone(),
+            loss_probability: self.loss_probability,
+            partition: self.partition.clone(),
+            degraded_extra_loss: self.degraded_extra_loss,
+            degraded_extra_latency_ms: self.degraded_extra_latency_ms,
+            link_rng: self.link_rng.clone(),
+            seed: self.seed,
+            now: self.now,
+            seq: self.seq,
+            started: self.started,
+            metrics: self.metrics.clone(),
+            threads: self.threads,
+            dispatched: self.dispatched,
+            parallel_rounds: self.parallel_rounds,
+        }
+    }
 }
 
 impl<N: Node> Network<N> {

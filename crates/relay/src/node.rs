@@ -16,6 +16,7 @@ pub const DEFAULT_PUBSUB_TOPIC: &str = "/waku/2/default-waku/proto";
 /// Generic over the GossipSub [`Validator`] so that WAKU-RLN-RELAY can
 /// attach its RLN validation pipeline without this crate knowing about
 /// proofs.
+#[derive(Clone)]
 pub struct WakuRelayNode<V: Validator> {
     inner: GossipsubNode<V>,
     pubsub_topic: Topic,

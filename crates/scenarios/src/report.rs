@@ -775,46 +775,123 @@ mod tests {
         assert_eq!(parsed.scenario, weird.scenario);
     }
 
+    /// Table-driven round-trip over the optional report sections: the
+    /// `anonymity_*` and `resilience_*` blocks each re-serialize
+    /// byte-identically both when absent (all-null) and when populated,
+    /// and a parse of one shape never bleeds values into the other
+    /// section. One table, four rows — the shape matrix CI report
+    /// diffing depends on.
     #[test]
-    fn anonymity_section_round_trips_when_populated() {
-        let mut report = dummy();
-        report.anonymity_observers = Some(25);
-        report.anonymity_observations = Some(12_345);
-        report.anonymity_messages_observed = Some(40);
-        report.anonymity_first_spy_precision_at1 = Some(0.675);
-        report.anonymity_centrality_precision_at1 = Some(0.725);
-        report.anonymity_set_mean_size = Some(3.4);
-        report.anonymity_arrival_entropy_bits = Some(1.58496);
-        let json = report.to_json();
-        assert!(json.contains("\"anonymity_observers\": 25"));
-        assert!(json.contains("\"anonymity_first_spy_precision_at1\": 0.675000"));
-        let parsed = ScenarioReport::from_json(&json).expect("parses");
-        assert_eq!(parsed.to_json(), json);
-        assert_eq!(parsed.anonymity_messages_observed, Some(40));
-        assert_eq!(parsed.anonymity_set_mean_size, Some(3.4));
-    }
-
-    #[test]
-    fn resilience_section_round_trips_when_populated() {
-        let mut report = dummy();
-        report.resilience_faults_injected = Some(4);
-        report.resilience_peers_restarted = Some(11);
-        report.resilience_resync_retries = Some(7);
-        report.resilience_messages_lost_partition = Some(1234);
-        report.resilience_time_to_remesh_ms = Some(3000);
-        report.resilience_delivery_during_fault = Some(0.6125);
-        report.resilience_delivery_post_heal = Some(0.9975);
-        report.resilience_delivery_dip_depth = Some(0.3875);
-        report.resilience_delivery_dip_duration_ms = Some(30_000);
-        let json = report.to_json();
-        assert!(json.contains("\"resilience_faults_injected\": 4"));
-        assert!(json.contains("\"resilience_delivery_during_fault\": 0.612500"));
-        assert!(json.contains("\"resilience_delivery_dip_duration_ms\": 30000"));
-        let parsed = ScenarioReport::from_json(&json).expect("parses");
-        assert_eq!(parsed.to_json(), json);
-        assert_eq!(parsed.resilience_peers_restarted, Some(11));
-        assert_eq!(parsed.resilience_time_to_remesh_ms, Some(3000));
-        assert_eq!(parsed.resilience_delivery_post_heal, Some(0.9975));
+    fn optional_sections_round_trip_null_and_populated() {
+        fn with_anonymity(mut r: ScenarioReport) -> ScenarioReport {
+            r.anonymity_observers = Some(25);
+            r.anonymity_observations = Some(12_345);
+            r.anonymity_messages_observed = Some(40);
+            r.anonymity_first_spy_precision_at1 = Some(0.675);
+            r.anonymity_centrality_precision_at1 = Some(0.725);
+            r.anonymity_set_mean_size = Some(3.4);
+            r.anonymity_arrival_entropy_bits = Some(1.58496);
+            r
+        }
+        fn with_resilience(mut r: ScenarioReport) -> ScenarioReport {
+            r.resilience_faults_injected = Some(4);
+            r.resilience_peers_restarted = Some(11);
+            r.resilience_resync_retries = Some(7);
+            r.resilience_messages_lost_partition = Some(1234);
+            r.resilience_time_to_remesh_ms = Some(3000);
+            r.resilience_delivery_during_fault = Some(0.6125);
+            r.resilience_delivery_post_heal = Some(0.9975);
+            r.resilience_delivery_dip_depth = Some(0.3875);
+            r.resilience_delivery_dip_duration_ms = Some(30_000);
+            r
+        }
+        // (name, report, expected JSON fragments)
+        let table: Vec<(&str, ScenarioReport, Vec<&str>)> = vec![
+            (
+                "both-null",
+                dummy(),
+                vec![
+                    "\"anonymity_observers\": null",
+                    "\"anonymity_arrival_entropy_bits\": null",
+                    "\"resilience_faults_injected\": null",
+                    "\"resilience_delivery_dip_duration_ms\": null",
+                ],
+            ),
+            (
+                "anonymity-only",
+                with_anonymity(dummy()),
+                vec![
+                    "\"anonymity_observers\": 25",
+                    "\"anonymity_first_spy_precision_at1\": 0.675000",
+                    "\"resilience_faults_injected\": null",
+                ],
+            ),
+            (
+                "resilience-only",
+                with_resilience(dummy()),
+                vec![
+                    "\"resilience_faults_injected\": 4",
+                    "\"resilience_delivery_during_fault\": 0.612500",
+                    "\"resilience_delivery_dip_duration_ms\": 30000",
+                    "\"anonymity_observers\": null",
+                ],
+            ),
+            (
+                "both-populated",
+                with_resilience(with_anonymity(dummy())),
+                vec![
+                    "\"anonymity_set_mean_size\": 3.400000",
+                    "\"resilience_time_to_remesh_ms\": 3000",
+                ],
+            ),
+        ];
+        for (name, report, fragments) in table {
+            let json = report.to_json();
+            for fragment in fragments {
+                assert!(json.contains(fragment), "{name}: missing {fragment}");
+            }
+            let parsed = ScenarioReport::from_json(&json)
+                .unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+            assert_eq!(parsed.to_json(), json, "{name}: re-serialization drifted");
+            // struct equality on the optional sections (the mandatory
+            // floats round to 6 decimals on the wire, so whole-struct
+            // equality would be wrong by design; the section values in
+            // the table are chosen exactly representable)
+            let anonymity = |r: &ScenarioReport| {
+                (
+                    r.anonymity_observers,
+                    r.anonymity_observations,
+                    r.anonymity_messages_observed,
+                    r.anonymity_first_spy_precision_at1,
+                    r.anonymity_centrality_precision_at1,
+                    r.anonymity_set_mean_size,
+                    r.anonymity_arrival_entropy_bits,
+                )
+            };
+            let resilience = |r: &ScenarioReport| {
+                (
+                    r.resilience_faults_injected,
+                    r.resilience_peers_restarted,
+                    r.resilience_resync_retries,
+                    r.resilience_messages_lost_partition,
+                    r.resilience_time_to_remesh_ms,
+                    r.resilience_delivery_during_fault,
+                    r.resilience_delivery_post_heal,
+                    r.resilience_delivery_dip_depth,
+                    r.resilience_delivery_dip_duration_ms,
+                )
+            };
+            assert_eq!(
+                anonymity(&parsed),
+                anonymity(&report),
+                "{name}: anonymity section diverged"
+            );
+            assert_eq!(
+                resilience(&parsed),
+                resilience(&report),
+                "{name}: resilience section diverged"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! * [`crypto`] — field, Poseidon, SHA-256, Shamir, Merkle trees
 //! * [`zksnark`] — R1CS, the RLN circuit, the simulated SNARK backend
 //! * [`rln`] — identities, groups, signals, slashing math
+//! * [`model`] — the pure model-checked protocol core (`step`, trace
+//!   fuzzer, corpus format)
 //! * [`ethsim`] — the simulated chain and membership contract
 //! * [`netsim`] — the deterministic discrete-event network simulator
 //! * [`gossipsub`] — GossipSub v1.1 with peer scoring
@@ -42,6 +44,7 @@ pub use wakurln_baselines as baselines;
 pub use wakurln_crypto as crypto;
 pub use wakurln_ethsim as ethsim;
 pub use wakurln_gossipsub as gossipsub;
+pub use wakurln_model as model;
 pub use wakurln_netsim as netsim;
 pub use wakurln_relay as relay;
 pub use wakurln_rln as rln;
@@ -74,3 +77,8 @@ pub struct ArchitectureDoctests;
 #[cfg(doctest)]
 #[doc = include_str!("../docs/SCENARIOS.md")]
 pub struct ScenariosDoctests;
+
+/// Compiled copy of `docs/MODEL.md` (doctest-only).
+#[cfg(doctest)]
+#[doc = include_str!("../docs/MODEL.md")]
+pub struct ModelDoctests;

@@ -1,0 +1,235 @@
+//! The production `RlnValidator` is bit-for-bit the pure model.
+//!
+//! `RlnValidator::decide` — the order-sensitive stateful core behind both
+//! the serial path and the pipeline's stage-4 commit — must be exactly
+//! one transition of `wakurln_model::step`. These property tests drive
+//! both implementations with the same adversarial input schedules
+//! (double-signals, gossip replays, epoch skews beyond `Thr`, mutated
+//! proofs) and require the **entire** model state to match after every
+//! step: accepted roots, nullifier map, detections, statistics, plus the
+//! per-message verdict and charged cost. ≥ 1000 generated cases.
+
+use proptest::prelude::*;
+use waku_rln::core::{CostModel, RlnValidator, WireSignal};
+use waku_rln::crypto::field::Fr;
+use waku_rln::gossipsub::{ValidationResult, Validator};
+use waku_rln::model::trace::{fabricate_input, generate_trace, TraceParams, TraceStep};
+use waku_rln::model::{step, Input, Outcome, State};
+use waku_rln::zksnark::{RlnCircuit, SimSnark};
+
+/// `T = 10 s`, `D = 20 s` ⇒ `Thr = 2`; a small member universe so
+/// generated schedules collide constantly.
+fn params(members: usize) -> TraceParams {
+    TraceParams {
+        epoch_secs: 10,
+        max_delay_ms: 20_000,
+        members,
+    }
+}
+
+/// A production validator configured identically to
+/// [`TraceParams::initial_state`]. The verifying key is irrelevant here
+/// (`decide` takes `proof_ok` as an input, exactly like the model), so
+/// one cached setup serves every proptest case.
+fn production_validator(p: &TraceParams) -> RlnValidator {
+    static VK: std::sync::OnceLock<waku_rln::zksnark::VerifyingKey> = std::sync::OnceLock::new();
+    let vk = VK.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        SimSnark::setup(RlnCircuit::new(8), &mut rng).1
+    });
+    RlnValidator::new(
+        vk.clone(),
+        p.scheme(),
+        Fr::from_u64(waku_rln::model::trace::TRACE_ROOT),
+        CostModel::default(),
+    )
+}
+
+fn outcome_of(result: ValidationResult) -> Outcome {
+    match result {
+        ValidationResult::Accept => Outcome::Accept,
+        ValidationResult::Ignore => Outcome::Ignore,
+        ValidationResult::Reject => Outcome::Reject,
+    }
+}
+
+/// Folds a schedule through the pure model (via the owned `step` form)
+/// and through the production `decide`, asserting verdict, cost and full
+/// state equality after **every** input.
+fn assert_lockstep(p: &TraceParams, inputs: &[Input]) {
+    let mut model_state: State = p.initial_state();
+    let mut production = production_validator(p);
+    assert_eq!(
+        production.model_state(),
+        &model_state,
+        "initial states differ"
+    );
+    for (i, input) in inputs.iter().enumerate() {
+        let (next, verdict) = step(model_state, input.clone());
+        model_state = next;
+        let wire = WireSignal {
+            epoch: input.epoch,
+            signal: input.signal.clone(),
+        };
+        let result = production.decide(input.now_ms, &wire, input.proof_ok, input.verify_cost);
+        assert_eq!(
+            outcome_of(result),
+            verdict.outcome,
+            "verdict diverged at input {i}"
+        );
+        assert_eq!(
+            production.last_cost_micros(),
+            verdict.cost_micros,
+            "charged cost diverged at input {i}"
+        );
+        assert_eq!(
+            production.model_state(),
+            &model_state,
+            "state diverged at input {i}"
+        );
+    }
+}
+
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(600))]
+
+    /// Generator-driven schedules: epoch skews up to `Thr + 2`, replays,
+    /// mutated proofs, multi-epoch clock jumps — 600 cases of up to 60
+    /// steps each.
+    #[test]
+    fn prop_generated_schedules_stay_in_lockstep(
+        seed in 0u64..100_000,
+        members in 1usize..5,
+        len in 1usize..60,
+    ) {
+        let p = params(members);
+        let steps = generate_trace(&p, seed, len);
+        let inputs: Vec<Input> = steps.iter().map(|s| fabricate_input(&p, s)).collect();
+        assert_lockstep(&p, &inputs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Hand-structured worst cases — 400 cases built directly from
+    /// `(member, epoch-offset, msg, proof_ok)` tuples so double-signals
+    /// (same member+epoch, different msg), exact replays (same tuple
+    /// twice) and epoch skews (offsets straddling `Thr = 2`) all occur by
+    /// construction rather than by generator luck.
+    #[test]
+    fn prop_structured_collision_schedules_stay_in_lockstep(
+        picks in proptest::collection::vec(
+            (0usize..3, 0u64..6, 0u64..2, any::<bool>()),
+            1..40,
+        ),
+    ) {
+        let p = params(3);
+        let scheme = p.scheme();
+        let inputs: Vec<Input> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, (member, offset, msg, proof_ok))| {
+                let now_ms = 1_000 + i as u64 * 1_500; // ~7 steps per epoch
+                let local = scheme.epoch_at_ms(now_ms);
+                // offsets 0..6 around local: 0..2 in-window behind/at,
+                // 3..4 ahead, 5 beyond Thr (out of window)
+                let epoch = local.saturating_sub(2) + offset;
+                fabricate_input(&p, &TraceStep {
+                    now_ms,
+                    member: *member,
+                    epoch,
+                    msg: *msg,
+                    proof_ok: *proof_ok,
+                })
+            })
+            .collect();
+        assert_lockstep(&p, &inputs);
+    }
+}
+
+/// A deterministic end-to-end double-signal + replay + skew schedule,
+/// kept as a plain test so a bare `cargo test model_equivalence` already
+/// exercises the interesting transitions without proptest.
+#[test]
+fn canonical_double_signal_replay_and_skew_schedule() {
+    let p = params(2);
+    let scheme = p.scheme();
+    let local = scheme.epoch_at_ms(5_000);
+    let mk = |now_ms, member, epoch, msg, proof_ok| {
+        fabricate_input(
+            &p,
+            &TraceStep {
+                now_ms,
+                member,
+                epoch,
+                msg,
+                proof_ok,
+            },
+        )
+    };
+    let inputs = vec![
+        mk(5_000, 0, local, 0, true),      // fresh accept
+        mk(5_100, 0, local, 0, true),      // exact replay → duplicate
+        mk(5_200, 0, local, 1, true),      // double-signal → reject + slash
+        mk(5_300, 1, local + 2, 0, true),  // future skew at Thr → accept
+        mk(5_400, 1, local + 3, 0, true),  // beyond Thr → ignore
+        mk(5_500, 1, local, 0, false),     // mutated proof → reject
+        mk(35_000, 0, local + 3, 0, true), // clock advanced: now in window
+    ];
+    assert_lockstep(&p, &inputs);
+
+    // and the end state is the interesting one we think it is
+    let mut state = p.initial_state();
+    for input in &inputs {
+        let (next, _) = step(state, input.clone());
+        state = next;
+    }
+    assert_eq!(state.stats.valid, 3);
+    assert_eq!(state.stats.duplicates, 1);
+    assert_eq!(state.stats.spam_detected, 1);
+    assert_eq!(state.stats.epoch_out_of_window, 1);
+    assert_eq!(state.stats.invalid_proof, 1);
+    assert_eq!(state.detections.len(), 1);
+    assert_eq!(
+        state.detections[0].evidence.revealed_secret,
+        p.member_identity(0).secret()
+    );
+}
+
+/// Root-window races: pushing roots between messages must leave wrapper
+/// and model in identical states (roots feed the stateless stage, but
+/// the window itself lives in the shared `State`).
+#[test]
+fn root_pushes_between_steps_stay_in_lockstep() {
+    let p = params(2);
+    let local = p.scheme().epoch_at_ms(5_000);
+    let mut model_state = p.initial_state();
+    let mut production = production_validator(&p);
+    for round in 0u64..20 {
+        model_state.push_root(Fr::from_u64(1_000 + round));
+        production.push_root(Fr::from_u64(1_000 + round));
+        let input = fabricate_input(
+            &p,
+            &TraceStep {
+                now_ms: 5_000 + round * 400,
+                member: (round % 2) as usize,
+                epoch: local,
+                msg: round % 3,
+                proof_ok: true,
+            },
+        );
+        let (next, verdict) = step(model_state, input.clone());
+        model_state = next;
+        let wire = WireSignal {
+            epoch: input.epoch,
+            signal: input.signal.clone(),
+        };
+        let result = production.decide(input.now_ms, &wire, input.proof_ok, input.verify_cost);
+        assert_eq!(outcome_of(result), verdict.outcome);
+        assert_eq!(production.model_state(), &model_state);
+    }
+    assert_eq!(model_state.accepted_roots.len(), 8);
+}

@@ -7,10 +7,13 @@
 //! schedule, every message gets the same `ValidationResult`, the
 //! aggregate `ValidationStats` are equal, the slashing detections are
 //! equal (same spammers, same order), and the nullifier map — including
-//! its `Thr`-window GC — ends in the same state. The satellite cases the
-//! issue calls out are covered by name: duplicates arriving in the same
-//! flush window, double-signals split across batches, and flushes that
-//! straddle an epoch boundary.
+//! its `Thr`-window GC — ends in the same state. Stronger still: after
+//! **every** batch flush (including flushes straddling an epoch
+//! boundary) the pipelined validator's entire pure `model::State`
+//! snapshot must equal the serial validator's on the same message
+//! prefix. The satellite cases the issue calls out are covered by name:
+//! duplicates arriving in the same flush window, double-signals split
+//! across batches, and flushes that straddle an epoch boundary.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -102,10 +105,7 @@ fn frame(wire: &WireSignal) -> Vec<u8> {
 fn assert_equivalent(f: &Fixture, stream: &[(u64, WireSignal)], batch: usize) -> RlnValidator {
     let topic = Topic::new("t");
     let mut serial = f.validator();
-    let serial_results: Vec<ValidationResult> = stream
-        .iter()
-        .map(|(now, wire)| serial.validate(*now, &topic, &frame(wire)))
-        .collect();
+    let mut serial_results: Vec<ValidationResult> = Vec::new();
 
     let mut piped = f.validator();
     piped.enable_pipeline(PipelineConfig {
@@ -115,6 +115,7 @@ fn assert_equivalent(f: &Fixture, stream: &[(u64, WireSignal)], batch: usize) ->
     let mut piped_results: Vec<(u64, ValidationResult)> = Vec::new();
     let mut immediate = 0u64;
     for (i, (now, wire)) in stream.iter().enumerate() {
+        serial_results.push(serial.validate(*now, &topic, &frame(wire)));
         match piped.submit(*now, &topic, &frame(wire)) {
             SubmitOutcome::Decided(result) => {
                 // only undecodable frames decide immediately; tickets are
@@ -130,12 +131,26 @@ fn assert_equivalent(f: &Fixture, stream: &[(u64, WireSignal)], batch: usize) ->
             for d in piped.flush(*now) {
                 piped_results.push((d.ticket, d.result));
             }
+            // after every batch flush — including flushes straddling an
+            // epoch boundary — the stage-4 commit must have driven the
+            // pure model to the exact state the serial validator reached
+            // on the same prefix, not merely the same verdicts
+            assert_eq!(
+                piped.model_state(),
+                serial.model_state(),
+                "model state diverged after the flush at message {i}"
+            );
         }
     }
     let end = stream.last().map(|(now, _)| *now).unwrap_or(0);
     for d in piped.flush(end) {
         piped_results.push((d.ticket, d.result));
     }
+    assert_eq!(
+        piped.model_state(),
+        serial.model_state(),
+        "model state diverged after the final flush"
+    );
 
     // all streams in these tests are decodable, so every message got a
     // ticket and ticket order == submission order
