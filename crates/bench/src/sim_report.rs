@@ -2,7 +2,9 @@
 //!
 //! Runs one built-in scenario at a fixed `(nodes, seed)` across a sweep
 //! of scheduler worker-thread counts and reports wall-clock time,
-//! event throughput and the speedup relative to one thread. Before any
+//! event throughput, the speedup relative to one thread, and the
+//! per-phase split of where the wall clock went (registration sync /
+//! event dispatch / post-traffic drain). Before any
 //! number is reported, the sweep **asserts the scheduler's determinism
 //! contract**: every thread count must produce a byte-identical
 //! `ScenarioReport` — a sweep that bought speed by changing the
@@ -57,6 +59,15 @@ pub struct SweepRow {
     pub events_per_sec: f64,
     /// `wall_ms(threads = 1) / wall_ms(this row)`.
     pub speedup_vs_1_thread: f64,
+    /// Host time the best run spent syncing chain events into peers
+    /// (registration bursts, slashings, resync replays), milliseconds.
+    pub registration_sync_ms: u64,
+    /// Host time the best run spent dispatching simulation events,
+    /// milliseconds.
+    pub dispatch_ms: u64,
+    /// Host time the best run spent draining in-flight traffic after
+    /// the last scheduled action, milliseconds.
+    pub drain_ms: u64,
 }
 
 /// The full report.
@@ -113,11 +124,15 @@ pub fn run(config: &SimReportConfig) -> SimReport {
         let mut spec = base.clone();
         spec.threads = threads.max(1); // 0 would re-auto-detect and blur the sweep
         let mut best_wall = u64::MAX;
+        let mut best_phases = waku_rln_relay::PhaseTimings::default();
         for _ in 0..config.reps {
             let started = Instant::now();
             let (report, tb) = wakurln_scenarios::run_scenario_detailed(&spec);
             let wall = started.elapsed().as_millis().max(1) as u64;
-            best_wall = best_wall.min(wall);
+            if wall < best_wall {
+                best_wall = wall;
+                best_phases = tb.phase_timings();
+            }
             events_dispatched = tb.net.events_dispatched();
             let json = report.to_json();
             match &reference {
@@ -133,6 +148,9 @@ pub fn run(config: &SimReportConfig) -> SimReport {
             wall_ms: best_wall,
             events_per_sec: 0.0,      // filled once events are known
             speedup_vs_1_thread: 0.0, // filled against row 0
+            registration_sync_ms: best_phases.registration_sync_ns / 1_000_000,
+            dispatch_ms: best_phases.dispatch_ns / 1_000_000,
+            drain_ms: best_phases.drain_ns / 1_000_000,
         });
     }
     // the speedup base is the threads=1 row wherever it sits in the
@@ -170,7 +188,7 @@ impl SimReport {
     /// float formatting, like every other `BENCH_*.json` artifact).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"bench_sim/v1\",\n");
+        out.push_str("  \"schema\": \"bench_sim/v2\",\n");
         out.push_str(&format!("  \"scenario\": \"{}\",\n", self.scenario));
         out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
@@ -198,11 +216,14 @@ impl SimReport {
         out.push_str("  \"sweep\": [\n");
         for (i, row) in self.sweep.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"threads\": {}, \"wall_ms\": {}, \"events_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.3}}}{}\n",
+                "    {{\"threads\": {}, \"wall_ms\": {}, \"events_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.3}, \"registration_sync_ms\": {}, \"dispatch_ms\": {}, \"drain_ms\": {}}}{}\n",
                 row.threads,
                 row.wall_ms,
                 row.events_per_sec,
                 row.speedup_vs_1_thread,
+                row.registration_sync_ms,
+                row.dispatch_ms,
+                row.drain_ms,
                 if i + 1 < self.sweep.len() { "," } else { "" },
             ));
         }
@@ -223,8 +244,14 @@ impl SimReport {
         );
         for row in &self.sweep {
             out.push_str(&format!(
-                "  threads {:>2}: {:>8} ms  {:>12.0} events/s  {:>6.3}x\n",
-                row.threads, row.wall_ms, row.events_per_sec, row.speedup_vs_1_thread
+                "  threads {:>2}: {:>8} ms  {:>12.0} events/s  {:>6.3}x  (sync {} ms, dispatch {} ms, drain {} ms)\n",
+                row.threads,
+                row.wall_ms,
+                row.events_per_sec,
+                row.speedup_vs_1_thread,
+                row.registration_sync_ms,
+                row.dispatch_ms,
+                row.drain_ms,
             ));
         }
         out
@@ -249,12 +276,15 @@ mod tests {
         assert!(report.events_dispatched > 0);
         let json = report.to_json();
         for field in [
-            "\"schema\": \"bench_sim/v1\"",
+            "\"schema\": \"bench_sim/v2\"",
             "\"determinism_byte_identical\": true",
             "\"host_parallelism\"",
             "\"delivery_rate\"",
             "\"sweep\"",
             "\"speedup_vs_1_thread\"",
+            "\"registration_sync_ms\"",
+            "\"dispatch_ms\"",
+            "\"drain_ms\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

@@ -12,31 +12,70 @@ use crate::pipeline::PipelineConfig;
 use crate::validator::{CostModel, RlnValidator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 use wakurln_crypto::field::Fr;
-use wakurln_crypto::merkle::{zero_hashes, MerkleProof};
+use wakurln_crypto::merkle::{zero_hashes, AppendDelta, UpdateDelta};
 use wakurln_ethsim::types::{Address, CallData, ChainEvent, Wei, ETHER};
 use wakurln_ethsim::{Chain, ChainConfig};
 use wakurln_gossipsub::{GossipsubConfig, MessageId, ScoringConfig};
 use wakurln_netsim::{topology, Network, NodeId, QuiescenceOutcome, UniformLatency};
-use wakurln_rln::{Identity, RlnGroup};
+use wakurln_rln::{Identity, SharedGroup};
 use wakurln_zksnark::{ProvingKey, RlnCircuit, SimSnark, VerifyingKey};
 
-/// A processed membership event with the witness material a late-joining
-/// peer needs to replay it. Registration runs are stored at the same
-/// burst granularity live peers applied them (one burst per sync slice),
-/// so a replaying newcomer's accepted-roots window sees exactly the
-/// root sequence every live peer pushed.
+/// A processed membership event in the broadcast delta form peers
+/// consume, kept so a late-joining or restarted peer can replay history.
+/// Registration runs are stored at the same burst granularity live peers
+/// applied them (one burst per sync slice), so a replaying newcomer's
+/// accepted-roots window sees exactly the root sequence every live peer
+/// pushed.
 #[derive(Clone, Debug)]
 enum ReplayEvent {
-    RegisteredBurst {
-        commitments: Vec<Fr>,
-    },
-    Slashed {
-        index: u64,
-        commitment: Fr,
-        witness: MerkleProof,
-    },
+    RegisteredBurst { delta: AppendDelta },
+    Slashed { delta: UpdateDelta },
+}
+
+/// Replays recorded membership history into one peer's light view —
+/// the §III group-synchronization bootstrap for late joins and
+/// restarts. The peer's own registration (if present in a replayed
+/// burst) is found by scanning the delta's leaves: replay is rare, so
+/// the `O(burst)` scan is fine here, unlike the live fan-out path which
+/// resolves offsets through a per-burst map.
+fn replay_into(node: &mut crate::node::RlnRelayNode, events: &[ReplayEvent]) {
+    for event in events {
+        match event {
+            ReplayEvent::RegisteredBurst { delta } => {
+                let own = node.identity().map(|id| id.commitment()).and_then(|c| {
+                    delta
+                        .leaves()
+                        .iter()
+                        .position(|l| *l == c)
+                        .map(|p| p as u64)
+                });
+                node.apply_append_delta(delta, own)
+                    .expect("replayed registration burst");
+            }
+            ReplayEvent::Slashed { delta } => {
+                node.apply_update_delta(delta).expect("replayed slashing");
+            }
+        }
+    }
+}
+
+/// Wall-clock time the harness spent in each phase — **host** time, not
+/// simulated time. Diagnostic only: these feed the benchmark reports'
+/// per-phase breakdown and are never part of deterministic scenario
+/// reports (which must stay byte-identical across hosts and thread
+/// counts).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Membership sync: canonical-tree updates, delta fan-out to peers,
+    /// and restart/late-join replay.
+    pub registration_sync_ns: u64,
+    /// Event dispatch inside the network scheduler.
+    pub dispatch_ns: u64,
+    /// End-of-run drain and quiescence classification.
+    pub drain_ns: u64,
 }
 
 /// Testbed configuration.
@@ -101,10 +140,11 @@ pub struct Testbed {
     /// The simulated chain with the membership contract.
     pub chain: Chain,
     config: TestbedConfig,
-    /// Full observer view, used to produce witness paths for slashing
-    /// events (a slasher runs a full tree; light peers consume the
-    /// witness).
-    mirror: RlnGroup,
+    /// The **one canonical group tree** of the simulation: every
+    /// registration burst is hashed here exactly once, emitting the
+    /// deltas all peers' light views apply with pure lookups. Cloning the
+    /// testbed (soak checkpoints) snapshots it in O(1) via copy-on-write.
+    mirror: SharedGroup,
     event_cursor: usize,
     addresses: Vec<Address>,
     identities: Vec<Identity>,
@@ -122,6 +162,7 @@ pub struct Testbed {
     /// the cursor) and from slash submission until the resync lands.
     awaiting_resync: Vec<bool>,
     rng: StdRng,
+    timings: PhaseTimings,
 }
 
 impl Testbed {
@@ -216,7 +257,7 @@ impl Testbed {
             net,
             chain,
             config,
-            mirror: RlnGroup::new(config.tree_depth).expect("valid depth"),
+            mirror: SharedGroup::new(config.tree_depth).expect("valid depth"),
             event_cursor: 0,
             addresses,
             identities,
@@ -227,6 +268,7 @@ impl Testbed {
             replay_cursor: vec![0; config.n_peers],
             awaiting_resync: vec![false; config.n_peers],
             rng,
+            timings: PhaseTimings::default(),
         };
         // mine the registrations and sync everyone
         let first_block = testbed.chain.config().block_interval;
@@ -285,26 +327,12 @@ impl Testbed {
             self.config.scoring,
         );
         node.set_identity(identity);
-        // replay history so the newcomer's tree matches the network's:
-        // each recorded burst goes through the batched ingestion path at
-        // the same granularity live peers applied it, reproducing their
-        // accepted-roots window
-        for event in &self.replay_log {
-            match event {
-                ReplayEvent::RegisteredBurst { commitments } => {
-                    node.apply_registrations(commitments)
-                        .expect("replayed registrations");
-                }
-                ReplayEvent::Slashed {
-                    index,
-                    commitment,
-                    witness,
-                } => {
-                    node.apply_slashing(*index, *commitment, witness)
-                        .expect("replayed slashing");
-                }
-            }
-        }
+        // replay history so the newcomer's view matches the network's:
+        // each recorded delta is applied at the same burst granularity
+        // live peers saw it, reproducing their accepted-roots window
+        let sync_start = Instant::now();
+        replay_into(&mut node, &self.replay_log);
+        self.timings.registration_sync_ns += sync_start.elapsed().as_nanos() as u64;
         let id = self.net.add_node(node);
         let peer = id.0;
         self.replay_cursor.push(self.replay_log.len());
@@ -396,17 +424,17 @@ impl Testbed {
     }
 
     /// Tries to complete the group resync of every restarted peer:
-    /// replays `replay_log[cursor..]` (registration bursts at the exact
-    /// granularity live peers applied them, slashings with their
-    /// witnesses) into the peer's light tree, then clears the flag. While
-    /// the registration contract is in outage the sync source is
-    /// unreachable: each pending peer counts one `resync_retries` and
-    /// stays flagged for the next slice — the bounded-retry loop the
-    /// fault scenarios measure.
+    /// replays `replay_log[cursor..]` (recorded deltas at the exact
+    /// burst granularity live peers applied them) into the peer's light
+    /// view, then clears the flag. While the registration contract is in
+    /// outage the sync source is unreachable: each pending peer counts
+    /// one `resync_retries` and stays flagged for the next slice — the
+    /// bounded-retry loop the fault scenarios measure.
     ///
     /// Runs automatically inside [`Testbed::run`] after each event-sync
     /// slice; public so tests can drive recovery without advancing time.
     pub fn attempt_resyncs(&mut self) {
+        let start = Instant::now();
         for peer in 0..self.net.len() {
             if !self.awaiting_resync[peer] || !self.net.is_active(NodeId(peer)) {
                 continue;
@@ -416,27 +444,12 @@ impl Testbed {
                 continue;
             }
             let cursor = self.replay_cursor[peer];
-            let node = self.net.node_mut(NodeId(peer));
-            for event in &self.replay_log[cursor..] {
-                match event {
-                    ReplayEvent::RegisteredBurst { commitments } => {
-                        node.apply_registrations(commitments)
-                            .expect("resync registrations");
-                    }
-                    ReplayEvent::Slashed {
-                        index,
-                        commitment,
-                        witness,
-                    } => {
-                        node.apply_slashing(*index, *commitment, witness)
-                            .expect("resync slashing");
-                    }
-                }
-            }
+            replay_into(self.net.node_mut(NodeId(peer)), &self.replay_log[cursor..]);
             self.replay_cursor[peer] = self.replay_log.len();
             self.awaiting_resync[peer] = false;
             self.net.metrics_mut().count("peer_resyncs", 1);
         }
+        self.timings.registration_sync_ns += start.elapsed().as_nanos() as u64;
     }
 
     /// Number of restarted peers whose group resync has not completed.
@@ -478,12 +491,19 @@ impl Testbed {
         let target = self.net.now() + dt_ms;
         while self.net.now() < target {
             let next = (self.net.now() + slice_ms).min(target);
+            let dispatch_start = Instant::now();
             self.net.run_until(next);
+            self.timings.dispatch_ns += dispatch_start.elapsed().as_nanos() as u64;
             self.chain.advance_to(next / 1000);
             self.sync_chain_events();
             self.attempt_resyncs();
             self.submit_detected_slashes();
         }
+    }
+
+    /// Wall-clock phase accumulators since build (see [`PhaseTimings`]).
+    pub fn phase_timings(&self) -> PhaseTimings {
+        self.timings
     }
 
     /// Advances the world like [`Testbed::run`], then reports whether the
@@ -499,7 +519,10 @@ impl Testbed {
         }
         // everything ≤ hard_stop has been processed by the sliced run;
         // this only classifies what is left in the queue
-        self.net.run_to_quiescence(hard_stop)
+        let drain_start = Instant::now();
+        let outcome = self.net.run_to_quiescence(hard_stop);
+        self.timings.drain_ns += drain_start.elapsed().as_nanos() as u64;
+        outcome
     }
 
     /// Publishes through a peer's honest pipeline (rate-limited).
@@ -572,33 +595,43 @@ impl Testbed {
             .sum()
     }
 
-    /// Applies a burst of consecutive registration events through the
-    /// batched ingestion path: one `O(n + depth)` tree update on the
-    /// mirror and on every peer, instead of `n` full per-event updates.
+    /// Applies a burst of consecutive registration events: **one**
+    /// `O(n + depth)` tree update at the canonical group, then the
+    /// captured delta fans out to every live peer as `O(depth)` pure
+    /// lookups. Total hashing per burst is `O(n + depth)` regardless of
+    /// peer count — previously every peer re-hashed the whole burst
+    /// locally (`n` peers × `O(n + depth)` hashes), the `n²` wall that
+    /// capped simulations around 10k nodes.
     fn flush_registration_burst(&mut self, burst: &mut Vec<Fr>) {
         if burst.is_empty() {
             return;
         }
-        self.mirror
+        let (_, delta) = self
+            .mirror
             .register_batch(burst)
             .expect("mirror batch registration");
-        // every live peer ingests the identical burst into its own light
-        // tree — the dominant setup cost at 10k nodes (n peers x n-leaf
-        // burst), and pure per-node work: fan it out over the scheduler's
-        // worker threads (crashed peers stop syncing; the store skips
-        // them; restarted peers still mid-resync get the burst later via
-        // their ordered replay instead)
-        let awaiting = &self.awaiting_resync;
-        self.net.for_each_node_par(|id, node| {
-            if awaiting[id.0] {
-                return;
+        // resolve each peer's own position in the burst through one map
+        // (an O(burst) build, O(1) per peer) rather than scanning the
+        // burst per peer. Crashed peers stop syncing; restarted peers
+        // still mid-resync get the delta later via their ordered replay.
+        let offset_of: HashMap<[u8; 32], u64> = burst
+            .iter()
+            .enumerate()
+            .map(|(offset, c)| (c.to_bytes_le(), offset as u64))
+            .collect();
+        for peer in 0..self.net.len() {
+            if !self.net.is_active(NodeId(peer)) || self.awaiting_resync[peer] {
+                continue;
             }
-            node.apply_registrations(burst)
+            let node = self.net.node_mut(NodeId(peer));
+            let own = node
+                .identity()
+                .and_then(|id| offset_of.get(&id.commitment().to_bytes_le()).copied());
+            node.apply_append_delta(&delta, own)
                 .expect("peer registration sync");
-        });
-        self.replay_log.push(ReplayEvent::RegisteredBurst {
-            commitments: std::mem::take(burst),
-        });
+        }
+        burst.clear();
+        self.replay_log.push(ReplayEvent::RegisteredBurst { delta });
         self.advance_live_cursors();
     }
 
@@ -615,6 +648,7 @@ impl Testbed {
     }
 
     fn sync_chain_events(&mut self) {
+        let start_time = Instant::now();
         let (events, cursor) = self.chain.events_since(self.event_cursor);
         let events: Vec<ChainEvent> = events.iter().map(|e| e.event.clone()).collect();
         self.event_cursor = cursor;
@@ -623,7 +657,7 @@ impl Testbed {
         for event in events {
             match event {
                 ChainEvent::MemberRegistered { index, commitment } => {
-                    let start = *expected_start.get_or_insert(self.mirror.tree().next_index());
+                    let start = *expected_start.get_or_insert(self.mirror.next_index());
                     assert_eq!(start + burst.len() as u64, index, "event order mismatch");
                     burst.push(commitment);
                 }
@@ -632,31 +666,25 @@ impl Testbed {
                 } => {
                     self.flush_registration_burst(&mut burst);
                     expected_start = None;
-                    let witness = self
-                        .mirror
-                        .membership_proof(index)
-                        .expect("witness for slashed member");
-                    self.mirror.remove(index).expect("mirror removal");
+                    let (removed, delta) = self.mirror.remove(index).expect("mirror removal");
+                    debug_assert_eq!(removed, commitment, "slash event/commitment mismatch");
                     for i in 0..self.net.len() {
                         if !self.net.is_active(NodeId(i)) || self.awaiting_resync[i] {
                             continue;
                         }
                         self.net
                             .node_mut(NodeId(i))
-                            .apply_slashing(index, commitment, &witness)
+                            .apply_update_delta(&delta)
                             .expect("peer slashing sync");
                     }
-                    self.replay_log.push(ReplayEvent::Slashed {
-                        index,
-                        commitment,
-                        witness,
-                    });
+                    self.replay_log.push(ReplayEvent::Slashed { delta });
                     self.advance_live_cursors();
                 }
                 ChainEvent::TreeRootUpdated { .. } | ChainEvent::MessagePosted { .. } => {}
             }
         }
         self.flush_registration_burst(&mut burst);
+        self.timings.registration_sync_ns += start_time.elapsed().as_nanos() as u64;
     }
 
     fn submit_detected_slashes(&mut self) {

@@ -55,7 +55,7 @@ pub mod validator;
 
 pub use codec::{decode_signal, encode_signal, SignalCodecError, WireSignal};
 pub use epoch::EpochScheme;
-pub use harness::{Testbed, TestbedConfig};
+pub use harness::{PhaseTimings, Testbed, TestbedConfig};
 pub use node::{PublishError, RlnRelayNode};
 pub use nullifier_map::{NullifierMap, NullifierOutcome};
 pub use pipeline::{PipelineConfig, PipelineStats};

@@ -4,7 +4,7 @@ use crate::codec::encode_signal;
 use crate::epoch::EpochScheme;
 use crate::validator::RlnValidator;
 use wakurln_crypto::field::Fr;
-use wakurln_crypto::merkle::{zero_hashes, MerkleError, MerkleProof, SyncedPathTree, EMPTY_LEAF};
+use wakurln_crypto::merkle::{zero_hashes, AppendDelta, MemberView, MerkleError, UpdateDelta};
 use wakurln_gossipsub::{GossipsubConfig, MessageId, Rpc, ScoringConfig, Topic};
 use wakurln_netsim::{Context, Node, NodeId};
 use wakurln_relay::{WakuMessage, WakuRelayNode};
@@ -51,13 +51,16 @@ impl From<ProveError> for PublishError {
 /// A full WAKU-RLN-RELAY peer: WAKU-RELAY routing + the RLN validator +
 /// a light membership view + the publishing pipeline.
 ///
-/// Peers keep the membership tree **off-chain** (§III): this node uses the
-/// O(depth) [`SyncedPathTree`], updated from contract events delivered by
-/// the harness, so a depth-20 group costs ~1.3 KB instead of 67 MB (E3).
+/// Peers keep the membership tree **off-chain** (§III): this node holds
+/// only the O(depth) [`MemberView`] — current root plus its own
+/// authentication path — updated from the broadcast deltas the canonical
+/// group tree emits, so a depth-20 group costs ~1.3 KB instead of 67 MB
+/// (E3) and syncing a burst costs `O(depth)` lookups with **zero** local
+/// hashing.
 #[derive(Clone)]
 pub struct RlnRelayNode {
     relay: WakuRelayNode<RlnValidator>,
-    tree: SyncedPathTree,
+    view: MemberView,
     identity: Option<Identity>,
     proving_key: ProvingKey,
     epoch_scheme: EpochScheme,
@@ -92,7 +95,7 @@ impl RlnRelayNode {
                 validator,
                 Topic::new(wakurln_relay::DEFAULT_PUBSUB_TOPIC),
             ),
-            tree: SyncedPathTree::new(tree_depth).expect("valid depth"),
+            view: MemberView::new(tree_depth).expect("valid depth"),
             identity: None,
             proving_key,
             epoch_scheme,
@@ -130,99 +133,54 @@ impl RlnRelayNode {
 
     /// Whether this peer currently holds a provable membership.
     pub fn is_member(&self) -> bool {
-        self.tree.own_proof().is_some()
+        self.view.own_index().is_some()
     }
 
     /// The local view of the membership root.
     pub fn membership_root(&self) -> Fr {
-        self.tree.root()
+        self.view.root()
     }
 
-    /// Applies a `MemberRegistered` contract event. If the commitment is
-    /// our own identity's, the own-path is snapshotted.
-    ///
-    /// # Errors
-    ///
-    /// Propagates tree errors (full tree).
-    pub fn apply_registration(&mut self, commitment: Fr) -> Result<u64, MerkleError> {
-        let is_own = self
-            .identity
-            .map(|id| id.commitment() == commitment && self.tree.own_index().is_none())
-            .unwrap_or(false);
-        let index = if is_own {
-            self.tree.register_own(commitment)?
-        } else {
-            self.tree.apply_append(commitment)?
-        };
-        self.relay.validator_mut().push_root(self.tree.root());
-        Ok(index)
-    }
-
-    /// Applies a burst of consecutive `MemberRegistered` events in one
-    /// batched tree update (`O(n + depth)` hashes via
-    /// [`SyncedPathTree::apply_append_batch`] instead of `O(n · depth)`
-    /// for per-event [`RlnRelayNode::apply_registration`]), splitting
-    /// around our own commitment so the own-path snapshot still happens.
-    ///
-    /// [`SyncedPathTree::apply_append_batch`]: wakurln_crypto::merkle::SyncedPathTree::apply_append_batch
+    /// Applies a registration-burst delta broadcast from the canonical
+    /// group tree. `own_offset` marks this peer's position within the
+    /// burst (the harness resolves it once per burst from a
+    /// commitment→offset map); it is ignored when the peer already holds
+    /// a membership. Costs `O(depth)` lookups — no hashing.
     ///
     /// The accepted-roots window advances **once per burst** (only the
-    /// post-burst root enters the window), whereas per-event application
-    /// pushes every intermediate root. This is sound as long as all peers
-    /// sync registration bursts at the same granularity — here, per mined
-    /// block — since proofs are only ever generated against roots some
-    /// peer's tree exposed after a sync. Mixing per-event and batched
-    /// sync across peers would make mid-burst roots unverifiable.
+    /// post-burst root enters the window). This is sound as long as all
+    /// peers sync registration bursts at the same granularity — here, per
+    /// mined block — since proofs are only ever generated against roots
+    /// some peer's view exposed after a sync.
     ///
     /// # Errors
     ///
-    /// Returns [`MerkleError::TreeFull`] **without modifying the tree or
-    /// the root window** when the burst exceeds remaining capacity.
-    pub fn apply_registrations(&mut self, commitments: &[Fr]) -> Result<(), MerkleError> {
-        if commitments.is_empty() {
-            return Ok(());
-        }
-        // atomicity: reject the whole burst up front, so a failure cannot
-        // leave the tree advanced but the root window stale
-        let remaining = (1u64 << self.tree.depth()) - self.tree.len();
-        if commitments.len() as u64 > remaining {
-            return Err(MerkleError::TreeFull);
-        }
-        let own_pos = match self.identity {
-            Some(id) if self.tree.own_index().is_none() => {
-                commitments.iter().position(|c| *c == id.commitment())
-            }
-            _ => None,
+    /// Propagates [`MemberView::apply_append`] errors **without touching
+    /// the view or the root window** (a stale delta cannot leave the view
+    /// advanced but the window stale).
+    pub fn apply_append_delta(
+        &mut self,
+        delta: &AppendDelta,
+        own_offset: Option<u64>,
+    ) -> Result<(), MerkleError> {
+        let own_offset = match self.view.own_index() {
+            Some(_) => None,
+            None => own_offset,
         };
-        match own_pos {
-            Some(pos) => {
-                self.tree.apply_append_batch(&commitments[..pos])?;
-                self.tree.register_own(commitments[pos])?;
-                self.tree.apply_append_batch(&commitments[pos + 1..])?;
-            }
-            None => {
-                self.tree.apply_append_batch(commitments)?;
-            }
-        }
-        self.relay.validator_mut().push_root(self.tree.root());
+        self.view.apply_append(delta, own_offset)?;
+        self.relay.validator_mut().push_root(self.view.root());
         Ok(())
     }
 
-    /// Applies a `MemberSlashed` contract event, authenticated by the
-    /// witness path distributed with the event.
+    /// Applies a single-leaf update delta (a `MemberSlashed` event). When
+    /// the slashed leaf is this peer's own, the membership is revoked.
     ///
     /// # Errors
     ///
-    /// Propagates tree errors (stale witness, bad index).
-    pub fn apply_slashing(
-        &mut self,
-        index: u64,
-        commitment: Fr,
-        witness: &MerkleProof,
-    ) -> Result<(), MerkleError> {
-        self.tree
-            .apply_update_with_witness(index, commitment, EMPTY_LEAF, witness)?;
-        self.relay.validator_mut().push_root(self.tree.root());
+    /// Propagates [`MemberView::apply_update`] errors.
+    pub fn apply_update_delta(&mut self, delta: &UpdateDelta) -> Result<(), MerkleError> {
+        self.view.apply_update(delta)?;
+        self.relay.validator_mut().push_root(self.view.root());
         Ok(())
     }
 
@@ -279,7 +237,7 @@ impl RlnRelayNode {
         epoch_offset: i64,
     ) -> Result<MessageId, PublishError> {
         let identity = self.identity.ok_or(PublishError::NotRegistered)?;
-        let proof = self.tree.own_proof().ok_or(PublishError::MembershipLost)?;
+        let proof = self.view.own_proof().ok_or(PublishError::MembershipLost)?;
         let epoch = self
             .epoch_scheme
             .epoch_at_ms(ctx.now())
@@ -287,7 +245,7 @@ impl RlnRelayNode {
         let signal = create_signal(
             &identity,
             &proof,
-            self.tree.root(),
+            self.view.root(),
             &self.proving_key,
             self.epoch_scheme.to_field(epoch),
             payload,
@@ -356,9 +314,10 @@ impl RlnRelayNode {
         self.relay.observations()
     }
 
-    /// Light-tree storage footprint in bytes (E3).
+    /// Light-view storage footprint in bytes (E3): the root plus the own
+    /// authentication path, independent of group size.
     pub fn membership_storage_bytes(&self) -> usize {
-        self.tree.storage_bytes()
+        self.view.storage_bytes()
     }
 
     /// Current mesh degree on the shared pub/sub topic — the recovery
@@ -372,18 +331,18 @@ impl RlnRelayNode {
     }
 
     /// **Cold-restart** reset: the simulated process came back with its
-    /// disk wiped — the membership tree collapses to the empty group and
+    /// disk wiped — the membership view collapses to the empty group and
     /// the validator forgets its root window, nullifier map and pipeline
     /// backlog (see [`RlnValidator::reset_state`]). The identity keypair
     /// and the rate-limiter memory (`last_published_epoch`) survive: both
     /// model durable secrets an honest operator never risks — losing the
     /// limiter state could make an honest restart double-signal and burn
     /// its own stake. The harness follows this with a full group resync
-    /// (event replay from genesis), which restores membership through the
-    /// normal `register_own` path.
+    /// (delta replay from genesis), which restores membership through the
+    /// normal own-offset path.
     pub fn reset_for_cold_restart(&mut self) {
-        let depth = self.tree.depth();
-        self.tree = SyncedPathTree::new(depth).expect("valid depth");
+        let depth = self.view.depth();
+        self.view = MemberView::new(depth).expect("valid depth");
         self.relay.validator_mut().reset_state(zero_hashes()[depth]);
     }
 }
@@ -438,38 +397,72 @@ mod tests {
     }
 
     #[test]
-    fn apply_registrations_matches_per_event_application() {
-        let commitments: Vec<Fr> = (0..7u64).map(|v| Fr::from_u64(v + 1000)).collect();
-        let mut batched = node(4);
-        batched.apply_registrations(&commitments).unwrap();
-        let mut sequential = node(4);
-        for c in &commitments {
-            sequential.apply_registration(*c).unwrap();
-        }
-        assert_eq!(batched.membership_root(), sequential.membership_root());
+    fn append_delta_tracks_canonical_tree_and_snapshots_own_path() {
+        let mut canonical = wakurln_crypto::merkle::FullMerkleTree::new(4).unwrap();
+        let id = Identity::from_secret(Fr::from_u64(9));
+        let mut n = node(4);
+        n.set_identity(id);
+
+        let mut burst: Vec<Fr> = (0..3u64).map(|v| Fr::from_u64(v + 1000)).collect();
+        burst.insert(1, id.commitment());
+        let delta = canonical.append_batch_with_delta(&burst).unwrap();
+        n.apply_append_delta(&delta, Some(1)).unwrap();
+        assert_eq!(n.membership_root(), canonical.root());
+        assert!(n.is_member(), "own registration did not land");
+        assert_eq!(n.validator().current_root(), canonical.root());
+
+        // a later foreign burst refreshes the own path, root window follows
+        let delta = canonical
+            .append_batch_with_delta(&[Fr::from_u64(7), Fr::from_u64(8)])
+            .unwrap();
+        n.apply_append_delta(&delta, None).unwrap();
+        assert_eq!(n.membership_root(), canonical.root());
+        assert!(n.is_member());
     }
 
     #[test]
-    fn oversized_registration_burst_is_rejected_atomically() {
-        // depth 2 → capacity 4; a 5-commitment burst must fail without
-        // touching the tree or the validator's root window, even when it
-        // contains our own commitment past the capacity boundary
-        let mut n = node(2);
-        let id = Identity::from_secret(Fr::from_u64(9));
-        n.set_identity(id);
-        let mut burst: Vec<Fr> = (0..4u64).map(|v| Fr::from_u64(v + 1)).collect();
-        burst.push(id.commitment());
+    fn stale_delta_is_rejected_atomically() {
+        // a delta that does not continue the view's leaf count must fail
+        // without touching the view or the validator's root window
+        let mut canonical = wakurln_crypto::merkle::FullMerkleTree::new(4).unwrap();
+        let d1 = canonical
+            .append_batch_with_delta(&[Fr::from_u64(1)])
+            .unwrap();
+        let d2 = canonical
+            .append_batch_with_delta(&[Fr::from_u64(2)])
+            .unwrap();
+        let mut n = node(4);
         let root_before = n.membership_root();
         let window_root_before = n.validator().current_root();
         assert_eq!(
-            n.apply_registrations(&burst),
-            Err(wakurln_crypto::merkle::MerkleError::TreeFull)
+            n.apply_append_delta(&d2, None),
+            Err(wakurln_crypto::merkle::MerkleError::StaleWitness)
         );
         assert_eq!(n.membership_root(), root_before);
         assert_eq!(n.validator().current_root(), window_root_before);
-        assert!(!n.is_member(), "own registration must not have landed");
-        // the tree is still usable afterwards
-        n.apply_registrations(&burst[..4]).unwrap();
-        assert_ne!(n.membership_root(), root_before);
+        // the view is still usable afterwards, in order
+        n.apply_append_delta(&d1, None).unwrap();
+        n.apply_append_delta(&d2, None).unwrap();
+        assert_eq!(n.membership_root(), canonical.root());
+    }
+
+    #[test]
+    fn update_delta_revokes_own_membership() {
+        let mut canonical = wakurln_crypto::merkle::FullMerkleTree::new(4).unwrap();
+        let id = Identity::from_secret(Fr::from_u64(11));
+        let mut n = node(4);
+        n.set_identity(id);
+        let delta = canonical
+            .append_batch_with_delta(&[id.commitment(), Fr::from_u64(5)])
+            .unwrap();
+        n.apply_append_delta(&delta, Some(0)).unwrap();
+        assert!(n.is_member());
+
+        let slash = canonical
+            .set_with_delta(0, wakurln_crypto::merkle::EMPTY_LEAF)
+            .unwrap();
+        n.apply_update_delta(&slash).unwrap();
+        assert!(!n.is_member(), "slashed peer still claims membership");
+        assert_eq!(n.membership_root(), canonical.root());
     }
 }

@@ -198,6 +198,12 @@ impl FullMerkleTree {
         Ok(MerkleProof { index, siblings })
     }
 
+    /// Node value at `pos` within `level` (level 0 = leaves). Used by
+    /// the delta capture to read recomputed spans and frontiers.
+    pub(crate) fn node(&self, level: usize, pos: u64) -> Fr {
+        self.levels[level][pos as usize]
+    }
+
     /// Total number of stored node hashes (used by the E3 storage
     /// experiment; each node is one 32-byte field element).
     pub fn stored_nodes(&self) -> usize {

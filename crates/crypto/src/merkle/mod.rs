@@ -24,10 +24,12 @@
 //! Property tests assert all three agree on the root under arbitrary event
 //! streams.
 
+mod delta;
 mod full;
 mod incremental;
 mod synced;
 
+pub use delta::{AppendDelta, MemberView, UpdateDelta};
 pub use full::FullMerkleTree;
 pub use incremental::IncrementalMerkleTree;
 pub use synced::SyncedPathTree;

@@ -10,6 +10,7 @@
 use crate::gas::GasMeter;
 use crate::types::{Address, ChainEvent, Wei};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use wakurln_crypto::field::Fr;
 use wakurln_crypto::merkle::{IncrementalMerkleTree, MerkleError};
 use wakurln_crypto::poseidon;
@@ -44,6 +45,12 @@ pub struct MembershipContract {
     /// Fraction of the stake burnt on slashing, in percent.
     pub burn_percent: u8,
     members: Vec<MemberSlot>,
+    /// Active-commitment → slot index, mirroring the contract's
+    /// `mapping(uint256 => uint256)`: both the duplicate check in
+    /// `register` and the lookup in `slash` are O(1) like the real
+    /// storage mapping, not a scan over the member list (which at
+    /// 100k members would make registration O(n²) overall).
+    index_of: HashMap<[u8; 32], u64>,
 }
 
 impl MembershipContract {
@@ -54,6 +61,7 @@ impl MembershipContract {
             stake_amount,
             burn_percent,
             members: Vec::new(),
+            index_of: HashMap::new(),
         }
     }
 
@@ -95,11 +103,7 @@ impl MembershipContract {
         }
         // duplicate check against a commitment→index mapping slot
         meter.sload();
-        if self
-            .members
-            .iter()
-            .any(|m| m.active && m.commitment == commitment)
-        {
+        if self.index_of.contains_key(&commitment.to_bytes_le()) {
             return Err("register: commitment already registered".into());
         }
         // O(1): one append (one storage slot for the commitment, one for
@@ -113,6 +117,7 @@ impl MembershipContract {
             stake: value,
             active: true,
         });
+        self.index_of.insert(commitment.to_bytes_le(), index);
         events.push(ChainEvent::MemberRegistered { index, commitment });
         Ok(index)
     }
@@ -140,10 +145,10 @@ impl MembershipContract {
         let commitment = poseidon::hash1(secret);
         meter.sload(); // commitment → index lookup
         let index = self
-            .members
-            .iter()
-            .position(|m| m.active && m.commitment == commitment)
-            .ok_or_else(|| "slash: unknown or already-slashed member".to_string())?;
+            .index_of
+            .remove(&commitment.to_bytes_le())
+            .ok_or_else(|| "slash: unknown or already-slashed member".to_string())?
+            as usize;
         // O(1): flip the slot, move stake
         meter.sstore_update();
         let slot = &mut self.members[index];

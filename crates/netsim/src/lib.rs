@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod scheduler;
 pub mod sim;
 pub mod topology;
+mod wheel;
 
 pub use bytes::Bytes;
 pub use latency::{ConstantLatency, InternetLatency, LatencyModel, UniformLatency};

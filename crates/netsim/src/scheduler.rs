@@ -144,20 +144,6 @@ impl<N> NodeStore<N> {
         self.slots[index].as_mut().expect("slot checked out")
     }
 
-    /// Disjoint `&mut` access to every live node, for scoped fork-join
-    /// bulk updates ([`crate::sim::Network::for_each_node_par`]).
-    pub(crate) fn active_nodes_mut(&mut self) -> Vec<(usize, &mut N)> {
-        self.slots
-            .iter_mut()
-            .zip(self.active.iter())
-            .enumerate()
-            .filter_map(|(i, (slot, active))| {
-                (*active).then_some(())?;
-                slot.as_mut().map(|s| (i, &mut s.node))
-            })
-            .collect()
-    }
-
     /// Checks a slot out for a worker round.
     fn take(&mut self, index: usize) -> Slot<N> {
         self.slots[index].take().expect("slot already checked out")
@@ -321,18 +307,13 @@ impl<N: Node> Network<N> {
     fn drive(&mut self, limit: u64, pool: Option<&WorkerPool<N>>) {
         let mut batch: Vec<QueuedEvent<N::Message>> = Vec::new();
         loop {
-            match self.queue.peek() {
-                Some(head) if head.at <= limit => self.now = head.at,
-                _ => break,
-            }
-            // batch: every event at the current timestamp, in seq order
+            // batch: every event at the earliest timestamp ≤ limit, in
+            // seq order — one timing-wheel operation
             batch.clear();
-            while let Some(head) = self.queue.peek() {
-                if head.at != self.now {
-                    break;
-                }
-                batch.push(self.queue.pop().expect("peeked"));
-            }
+            let Some(at) = self.queue.pop_next_batch(limit, &mut batch) else {
+                break;
+            };
+            self.now = at;
             self.dispatched += batch.len() as u64;
             self.run_round(&mut batch, pool);
         }
@@ -657,39 +638,6 @@ mod tests {
         assert!(par_rounds > 0, "pool never engaged: the test is vacuous");
         assert_eq!(par_state, serial_state);
         assert_eq!(par_sent, serial_sent);
-    }
-
-    #[test]
-    fn for_each_node_par_matches_serial_and_skips_dead_nodes() {
-        let build = |threads: usize| {
-            let mut net: Network<Chatty> = Network::new(
-                UniformLatency {
-                    min_ms: 0,
-                    max_ms: 7,
-                },
-                3,
-            );
-            for i in 0..20 {
-                net.add_node(Chatty {
-                    peers: vec![NodeId((i + 1) % 20)],
-                    draws: vec![],
-                    received: vec![],
-                });
-            }
-            net.set_threads(threads);
-            net.remove_node(NodeId(7));
-            net.for_each_node_par(|id, node| {
-                node.draws.push(id.as_u64() * 3);
-            });
-            (0..20)
-                .map(|i| net.node(NodeId(i)).draws.clone())
-                .collect::<Vec<_>>()
-        };
-        let serial = build(1);
-        assert_eq!(serial[3], vec![9]);
-        assert!(serial[7].is_empty(), "dead node must not be touched");
-        assert_eq!(build(4), serial);
-        assert_eq!(build(8), serial);
     }
 
     /// A node-callback panic on a worker thread must surface as a panic

@@ -12,10 +12,10 @@
 use crate::latency::LatencyModel;
 use crate::metrics::Metrics;
 use crate::scheduler::{stream_seed, NodeStore, LINK_STREAM};
+use crate::wheel::EventWheel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Identifier of a simulated peer (index into the network's node table).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -105,7 +105,9 @@ impl<M> PartialOrd for QueuedEvent<M> {
 }
 impl<M> Ord for QueuedEvent<M> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert so earliest (at, seq) pops first.
+        // Retained for the wheel-vs-heap equivalence property tests: a
+        // `BinaryHeap` of these is the reference pop order the timing
+        // wheel must reproduce (max-heap: invert so earliest pops first).
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
@@ -315,7 +317,10 @@ pub struct Network<N: Node> {
     /// Per-node state (protocol machine + private RNG stream + liveness
     /// flag), shard-partitionable for batch execution.
     pub(crate) nodes: NodeStore<N>,
-    pub(crate) queue: BinaryHeap<QueuedEvent<N::Message>>,
+    /// The global event queue: a hierarchical timing wheel with
+    /// slab-allocated events (see [`crate::wheel`]), pop-order-identical
+    /// to the `BinaryHeap` it replaced.
+    pub(crate) queue: EventWheel<N::Message>,
     pub(crate) latency: Box<dyn LatencyModel>,
     pub(crate) loss_probability: f64,
     /// Partition-group assignment by node index; empty = no partition.
@@ -376,7 +381,7 @@ impl<N: Node> Network<N> {
     pub fn new<L: LatencyModel + 'static>(latency: L, seed: u64) -> Network<N> {
         Network {
             nodes: NodeStore::new(),
-            queue: BinaryHeap::new(),
+            queue: EventWheel::new(),
             latency: Box::new(latency),
             loss_probability: 0.0,
             partition: Vec::new(),
@@ -577,41 +582,6 @@ impl<N: Node> Network<N> {
         self.nodes.node_mut(id.index())
     }
 
-    /// Applies `f` to every **live** node, fanning out over the
-    /// configured worker threads (shard-partitioned `&mut` access; the
-    /// scoped fork-join variant of the scheduler's batch execution).
-    ///
-    /// This is the bulk out-of-band state-sync path: harnesses that push
-    /// identical updates into every peer between event rounds (e.g. the
-    /// testbed's per-block membership-registration bursts — the dominant
-    /// 10k-node setup cost) use it instead of a serial `node_mut` loop.
-    ///
-    /// Determinism: `f` gets no context, RNG, metrics or effect channel —
-    /// it can only mutate the node it is handed — so as long as `f` is
-    /// deterministic per node, the outcome is independent of the thread
-    /// count and of the partition, like every other scheduler path.
-    pub fn for_each_node_par(&mut self, f: impl Fn(NodeId, &mut N) + Sync) {
-        let workers = self.threads.max(1);
-        let mut refs = self.nodes.active_nodes_mut();
-        if workers <= 1 || refs.len() < 2 {
-            for (index, node) in refs {
-                f(NodeId(index), node);
-            }
-            return;
-        }
-        let chunk_len = refs.len().div_ceil(workers);
-        let f = &f;
-        std::thread::scope(|scope| {
-            for chunk in refs.chunks_mut(chunk_len) {
-                scope.spawn(move || {
-                    for (index, node) in chunk.iter_mut() {
-                        f(NodeId(*index), node);
-                    }
-                });
-            }
-        });
-    }
-
     /// Current simulated time in milliseconds.
     pub fn now(&self) -> u64 {
         self.now
@@ -681,12 +651,12 @@ impl<N: Node> Network<N> {
     /// re-arm forever) or a stall worth surfacing.
     pub fn run_to_quiescence(&mut self, hard_stop: u64) -> QuiescenceOutcome {
         self.run_batched(hard_stop);
-        match self.queue.peek() {
+        match self.queue.next_event_at() {
             None => QuiescenceOutcome::Quiescent { at_ms: self.now },
-            Some(head) => QuiescenceOutcome::HardStop {
+            Some(next_at) => QuiescenceOutcome::HardStop {
                 hard_stop_ms: hard_stop,
                 pending_events: self.queue.len() as u64,
-                next_event_at_ms: head.at,
+                next_event_at_ms: next_at,
             },
         }
     }

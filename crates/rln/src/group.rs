@@ -4,7 +4,9 @@ use crate::identity::Identity;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wakurln_crypto::field::Fr;
-use wakurln_crypto::merkle::{FullMerkleTree, MerkleError, MerkleProof, EMPTY_LEAF};
+use wakurln_crypto::merkle::{
+    AppendDelta, FullMerkleTree, MerkleError, MerkleProof, UpdateDelta, EMPTY_LEAF,
+};
 
 /// Errors from group bookkeeping.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -133,6 +135,37 @@ impl RlnGroup {
         &mut self,
         commitments: &[Fr],
     ) -> Result<std::ops::Range<u64>, GroupError> {
+        self.check_batch(commitments)?;
+        let start = self.tree.append_batch(commitments)?;
+        for (offset, commitment) in commitments.iter().enumerate() {
+            self.index_of
+                .insert(commitment.to_bytes_le(), start + offset as u64);
+        }
+        Ok(start..start + commitments.len() as u64)
+    }
+
+    /// [`RlnGroup::register_batch`], additionally capturing the
+    /// [`AppendDelta`] light members apply without re-hashing (see
+    /// [`wakurln_crypto::merkle::MemberView`]). Same atomicity.
+    ///
+    /// # Errors
+    ///
+    /// As [`RlnGroup::register_batch`].
+    pub fn register_batch_with_delta(
+        &mut self,
+        commitments: &[Fr],
+    ) -> Result<(std::ops::Range<u64>, AppendDelta), GroupError> {
+        self.check_batch(commitments)?;
+        let delta = self.tree.append_batch_with_delta(commitments)?;
+        let start = delta.start;
+        for (offset, commitment) in commitments.iter().enumerate() {
+            self.index_of
+                .insert(commitment.to_bytes_le(), start + offset as u64);
+        }
+        Ok((start..start + commitments.len() as u64, delta))
+    }
+
+    fn check_batch(&self, commitments: &[Fr]) -> Result<(), GroupError> {
         let mut batch_keys = Vec::with_capacity(commitments.len());
         for commitment in commitments {
             let key = commitment.to_bytes_le();
@@ -151,12 +184,23 @@ impl RlnGroup {
                 .expect("duplicate exists");
             return Err(GroupError::AlreadyRegistered(dup));
         }
-        let start = self.tree.append_batch(commitments)?;
-        for (offset, commitment) in commitments.iter().enumerate() {
-            self.index_of
-                .insert(commitment.to_bytes_le(), start + offset as u64);
+        Ok(())
+    }
+
+    /// [`RlnGroup::remove`], additionally capturing the [`UpdateDelta`]
+    /// light members apply to follow the deletion.
+    ///
+    /// # Errors
+    ///
+    /// As [`RlnGroup::remove`].
+    pub fn remove_with_delta(&mut self, index: u64) -> Result<(Fr, UpdateDelta), GroupError> {
+        let leaf = self.tree.leaf(index)?;
+        if leaf == EMPTY_LEAF {
+            return Err(GroupError::NoSuchMember(index));
         }
-        Ok(start..start + commitments.len() as u64)
+        let delta = self.tree.set_with_delta(index, EMPTY_LEAF)?;
+        self.index_of.remove(&leaf.to_bytes_le());
+        Ok((leaf, delta))
     }
 
     /// Removes the member at `index` (slashing), zeroing its leaf.

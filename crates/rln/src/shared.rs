@@ -1,0 +1,230 @@
+//! Shared copy-on-write handle over the canonical membership group.
+//!
+//! A simulation hosts **one** canonical group tree, no matter how many
+//! relays run in it: each registration burst is hashed exactly once at
+//! the canonical [`RlnGroup`], yielding the broadcast
+//! [`AppendDelta`] / [`UpdateDelta`] that per-node
+//! [`MemberView`](wakurln_crypto::merkle::MemberView)s apply with pure
+//! lookups. That replaces per-node tree replay (`n` members × `O(n)`
+//! hashes) with `O(n + depth)` hashes total — the `n²·depth → n·depth`
+//! reduction that makes 100k-node scenarios tractable.
+//!
+//! [`SharedGroup`] is the handle: [`Clone`] is an `Arc` bump — an `O(1)`
+//! immutable snapshot (what soak checkpoints and harness clones take) —
+//! while mutation goes through `Arc::make_mut`, copying the tree only
+//! when a snapshot is actually outstanding.
+
+use crate::group::{GroupError, RlnGroup};
+use std::ops::Range;
+use std::sync::Arc;
+use wakurln_crypto::field::Fr;
+use wakurln_crypto::merkle::{AppendDelta, MerkleProof, UpdateDelta};
+
+/// Copy-on-write handle to the one canonical membership tree of a
+/// simulation.
+///
+/// Reads delegate to the shared [`RlnGroup`]; mutators capture the
+/// delta that light members replay. Cloning snapshots the group in
+/// `O(1)`; the first mutation after a snapshot pays one tree copy.
+///
+/// # Examples
+///
+/// ```
+/// use wakurln_rln::{Identity, SharedGroup};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut group = SharedGroup::new(12)?;
+/// let ids: Vec<Identity> = (0..4).map(|_| Identity::random(&mut rng)).collect();
+/// let commitments: Vec<_> = ids.iter().map(Identity::commitment).collect();
+///
+/// let snapshot = group.clone(); // O(1)
+/// let (range, delta) = group.register_batch(&commitments)?;
+/// assert_eq!(range, 0..4);
+/// assert_eq!(delta.leaves(), &commitments[..]);
+/// assert_eq!(snapshot.member_count(), 0); // unaffected
+/// # Ok::<(), wakurln_rln::GroupError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedGroup {
+    inner: Arc<RlnGroup>,
+}
+
+impl SharedGroup {
+    /// Creates an empty shared group over a tree of the given depth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`wakurln_crypto::merkle::MerkleError::UnsupportedDepth`].
+    pub fn new(depth: usize) -> Result<SharedGroup, GroupError> {
+        Ok(SharedGroup {
+            inner: Arc::new(RlnGroup::new(depth)?),
+        })
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.inner.depth()
+    }
+
+    /// Current membership root.
+    pub fn root(&self) -> Fr {
+        self.inner.root()
+    }
+
+    /// Number of registered (non-deleted) members.
+    pub fn member_count(&self) -> usize {
+        self.inner.member_count()
+    }
+
+    /// Index of a commitment, if registered.
+    pub fn index_of(&self, commitment: Fr) -> Option<u64> {
+        self.inner.index_of(commitment)
+    }
+
+    /// Whether a commitment is currently registered.
+    pub fn contains(&self, commitment: Fr) -> bool {
+        self.inner.contains(commitment)
+    }
+
+    /// Authentication path for the member at `index` (slashing evidence).
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::Merkle`] for out-of-range indices.
+    pub fn membership_proof(&self, index: u64) -> Result<MerkleProof, GroupError> {
+        self.inner.membership_proof(index)
+    }
+
+    /// The leaf value at `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::Merkle`] for out-of-range indices.
+    pub fn leaf(&self, index: u64) -> Result<Fr, GroupError> {
+        self.inner.leaf(index)
+    }
+
+    /// Index the next registration will be assigned.
+    pub fn next_index(&self) -> u64 {
+        self.inner.tree().next_index()
+    }
+
+    /// Read access to the canonical group (storage accounting etc.).
+    pub fn group(&self) -> &RlnGroup {
+        &self.inner
+    }
+
+    /// Whether two handles share the same underlying allocation (i.e.
+    /// no copy-on-write has happened between them).
+    pub fn ptr_eq(&self, other: &SharedGroup) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Registers a burst of commitments once at the canonical tree,
+    /// returning the assigned index range and the broadcast
+    /// [`AppendDelta`]. Atomic: errors leave the group untouched.
+    ///
+    /// # Errors
+    ///
+    /// As [`RlnGroup::register_batch`].
+    pub fn register_batch(
+        &mut self,
+        commitments: &[Fr],
+    ) -> Result<(Range<u64>, AppendDelta), GroupError> {
+        Arc::make_mut(&mut self.inner).register_batch_with_delta(commitments)
+    }
+
+    /// Removes the member at `index` (slashing), returning the removed
+    /// commitment and the broadcast [`UpdateDelta`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RlnGroup::remove`].
+    pub fn remove(&mut self, index: u64) -> Result<(Fr, UpdateDelta), GroupError> {
+        Arc::make_mut(&mut self.inner).remove_with_delta(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Identity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wakurln_crypto::merkle::MemberView;
+
+    fn commitments(n: usize, seed: u64) -> Vec<Fr> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Identity::random(&mut rng).commitment())
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_is_o1_and_isolated_from_later_writes() {
+        let mut g = SharedGroup::new(10).unwrap();
+        let cs = commitments(6, 1);
+        g.register_batch(&cs[..3]).unwrap();
+        let snapshot = g.clone();
+        assert!(g.ptr_eq(&snapshot), "clone must share the allocation");
+        let root_before = snapshot.root();
+
+        g.register_batch(&cs[3..]).unwrap();
+        assert!(!g.ptr_eq(&snapshot), "write must have copied");
+        assert_eq!(snapshot.root(), root_before);
+        assert_eq!(snapshot.member_count(), 3);
+        assert_eq!(g.member_count(), 6);
+    }
+
+    #[test]
+    fn sole_handle_mutates_in_place() {
+        let mut g = SharedGroup::new(10).unwrap();
+        let probe = g.clone();
+        drop(probe);
+        let before = Arc::as_ptr(&g.inner);
+        g.register_batch(&commitments(2, 2)).unwrap();
+        assert_eq!(
+            Arc::as_ptr(&g.inner),
+            before,
+            "no outstanding snapshot ⇒ no copy"
+        );
+    }
+
+    #[test]
+    fn deltas_feed_member_views_to_the_canonical_root() {
+        let mut g = SharedGroup::new(10).unwrap();
+        let cs = commitments(9, 3);
+        let (range, d1) = g.register_batch(&cs[..4]).unwrap();
+        assert_eq!(range, 0..4);
+
+        let mut view = MemberView::new(10).unwrap();
+        view.apply_append(&d1, Some(2)).unwrap();
+        assert_eq!(view.root(), g.root());
+
+        let (_, d2) = g.register_batch(&cs[4..]).unwrap();
+        view.apply_append(&d2, None).unwrap();
+        let proof = view.own_proof().unwrap();
+        assert!(proof.verify(g.root(), cs[2]));
+
+        // slash member 2: the view revokes itself
+        let (removed, d3) = g.remove(2).unwrap();
+        assert_eq!(removed, cs[2]);
+        view.apply_update(&d3).unwrap();
+        assert!(view.own_proof().is_none());
+        assert_eq!(view.root(), g.root());
+        assert!(!g.contains(cs[2]));
+    }
+
+    #[test]
+    fn failed_batch_leaves_group_and_snapshots_untouched() {
+        let mut g = SharedGroup::new(10).unwrap();
+        let cs = commitments(3, 4);
+        g.register_batch(&cs).unwrap();
+        let snapshot = g.clone();
+        let err = g.register_batch(&[cs[1]]).unwrap_err();
+        assert!(matches!(err, GroupError::AlreadyRegistered(_)));
+        assert_eq!(g.root(), snapshot.root());
+        assert_eq!(g.member_count(), 3);
+    }
+}

@@ -1,6 +1,6 @@
 //! The built-in scenario library.
 //!
-//! Twelve canonical workloads, each parameterized by network size and
+//! Thirteen canonical workloads, each parameterized by network size and
 //! seed so the same scenario runs at 8 peers in a unit test and at
 //! 1000–10000 peers under `simctl`. Attack intensity and traffic volume
 //! scale with the population. See `docs/SCENARIOS.md` for what each
@@ -13,7 +13,7 @@ use crate::spec::{
 use waku_rln_relay::{EpochScheme, PipelineConfig};
 
 /// Names of all built-in scenarios, in canonical order.
-pub const BUILTIN_NAMES: [&str; 12] = [
+pub const BUILTIN_NAMES: [&str; 13] = [
     "baseline",
     "spam_burst",
     "targeted_eclipse",
@@ -22,6 +22,7 @@ pub const BUILTIN_NAMES: [&str; 12] = [
     "epoch_boundary_race",
     "high_throughput",
     "massive_population",
+    "metropolis",
     "passive_surveillance",
     "deanonymization_sweep",
     "partition_heal",
@@ -40,6 +41,7 @@ pub fn builtin(name: &str, nodes: usize, seed: u64) -> Option<ScenarioSpec> {
         "epoch_boundary_race" => epoch_boundary_race(nodes, seed),
         "high_throughput" => high_throughput(nodes, seed),
         "massive_population" => massive_population(nodes, seed),
+        "metropolis" => metropolis(nodes, seed),
         "passive_surveillance" => passive_surveillance(nodes, seed),
         "deanonymization_sweep" => deanonymization_sweep(nodes, seed),
         "partition_heal" => partition_heal(nodes, seed),
@@ -233,6 +235,31 @@ pub fn massive_population(nodes: usize, seed: u64) -> ScenarioSpec {
     spec
 }
 
+/// The 100k-node workload — an order of magnitude past
+/// [`massive_population`], sized to finish on **one core** (run it at
+/// 100,000 nodes: `simctl run metropolis --nodes 100000`). Feasible
+/// because membership sync hashes each registration burst once at the
+/// canonical shared tree (peers apply `O(depth)` delta lookups, no
+/// local hashing) and the scheduler's timing wheel pops event batches
+/// in `O(1)` instead of `O(log n)` heap churn. The publisher pool is
+/// kept small and absolute (not per capita): the point is group-sync
+/// and event-floor scalability at census scale, not traffic volume —
+/// per-node load must stay far below saturation or the run measures
+/// queueing, not the protocol.
+pub fn metropolis(nodes: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(nodes, seed);
+    spec.name = "metropolis".to_string();
+    spec.traffic = TrafficSpec {
+        publishers: (nodes / 10_000).clamp(2, 12),
+        rounds: 2,
+        start_ms: 10_000,
+        interval_ms: 12_000,
+    };
+    spec.threads = 1; // single-core by design: the target the docs quote
+    spec.drain_ms = 8_000;
+    spec
+}
+
 /// Passive surveillance (the gossip-privacy adversary model of both
 /// PAPERS.md privacy works): 10% of the honest relays are colluding
 /// observers recording `(message_id, arrival_ms, previous_hop)` on
@@ -365,6 +392,20 @@ mod tests {
         assert_eq!(massive_population(10_000, 1).traffic.publishers, 50);
         assert_eq!(massive_population(100, 1).traffic.publishers, 2);
         assert_eq!(massive_population(10_000, 1).threads, 0);
+    }
+
+    #[test]
+    fn metropolis_is_single_core_with_a_bounded_publisher_pool() {
+        let spec = metropolis(100_000, 1);
+        assert_eq!(spec.threads, 1, "metropolis quotes a single-core target");
+        assert_eq!(spec.traffic.publishers, 10);
+        // publisher pool is absolute, not per capita: load per node must
+        // not grow with the census
+        assert_eq!(metropolis(1_000_000, 1).traffic.publishers, 12);
+        assert_eq!(metropolis(1_000, 1).traffic.publishers, 2);
+        // a 100k census auto-sizes the tree within the depth cap
+        assert_eq!(spec.effective_tree_depth(), 18);
+        spec.validate();
     }
 
     #[test]
