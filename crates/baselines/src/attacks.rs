@@ -33,6 +33,7 @@ pub fn double_signal_burst(testbed: &mut Testbed, attacker: usize, k: usize) -> 
         if let Err(e) = testbed.publish_spam(attacker, payload) {
             match e {
                 PublishError::MembershipLost => report.send_failures += 1,
+                // lint:allow(panic-path, reason = "attack driver: an unhandled PublishError variant means the scenario wiring is wrong, not a runtime condition")
                 other => panic!("unexpected publish failure: {other}"),
             }
         }
@@ -64,6 +65,7 @@ pub fn epoch_replay_attack(
         let payload = format!("replay-{offset}").into_bytes();
         testbed
             .publish_with_epoch_offset(attacker, &payload, offset)
+            // lint:allow(panic-path, reason = "attack driver: the attacker was registered with funded stake during setup")
             .expect("attacker can always send");
         testbed.run(15_000, 1_000);
         let half = testbed.config().n_peers / 2;

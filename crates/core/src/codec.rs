@@ -110,7 +110,9 @@ pub fn decode_signal(mut bytes: &[u8]) -> Result<WireSignal, SignalCodecError> {
     binding.copy_from_slice(take(&mut bytes, 32)?);
 
     let len_raw = take(&mut bytes, 4)?;
-    let msg_len = u32::from_le_bytes([len_raw[0], len_raw[1], len_raw[2], len_raw[3]]) as usize;
+    let mut len_arr = [0u8; 4];
+    len_arr.copy_from_slice(len_raw);
+    let msg_len = u32::from_le_bytes(len_arr) as usize;
     let message = take(&mut bytes, msg_len)?.to_vec();
     if !bytes.is_empty() {
         return Err(SignalCodecError::TrailingBytes);

@@ -95,6 +95,7 @@ impl RlnRelayNode {
                 validator,
                 Topic::new(wakurln_relay::DEFAULT_PUBSUB_TOPIC),
             ),
+            // lint:allow(panic-path, reason = "depth comes from NodeConfig, validated against the supported tree range at config construction")
             view: MemberView::new(tree_depth).expect("valid depth"),
             identity: None,
             proving_key,
@@ -342,6 +343,7 @@ impl RlnRelayNode {
     /// normal own-offset path.
     pub fn reset_for_cold_restart(&mut self) {
         let depth = self.view.depth();
+        // lint:allow(panic-path, reason = "reset reuses the depth the existing view was built with, which was valid at construction")
         self.view = MemberView::new(depth).expect("valid depth");
         self.relay.validator_mut().reset_state(zero_hashes()[depth]);
     }

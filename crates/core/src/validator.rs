@@ -304,6 +304,7 @@ impl Validator for RlnValidator {
         // root-window membership is evaluated now, exactly when the
         // serial path would have evaluated it
         let root_ok = self.root_accepted(&wire.signal.root);
+        // lint:allow(panic-path, reason = "guarded: the enclosing branch runs only when self.pipeline.is_some()")
         let pipeline = self.pipeline.as_mut().expect("checked above");
         SubmitOutcome::Deferred(pipeline.enqueue(now_ms, wire, root_ok))
     }

@@ -289,6 +289,7 @@ impl Fr {
 
     /// `true` iff the canonical representation is an odd integer.
     pub fn is_odd(&self) -> bool {
+        // lint:allow(panic-path, reason = "to_repr returns [u8; 32]; index 0 is always in range")
         self.to_repr()[0] & 1 == 1
     }
 
@@ -371,6 +372,7 @@ fn mont_reduce(t: &[u64; 8]) -> [u64; 4] {
         r[i + 4] = lo;
         carry2 = hi;
     }
+    // lint:allow(panic-path, reason = "r is a [u64; 8] copied from *t; indices 4..8 are in range")
     let mut out = [r[4], r[5], r[6], r[7]];
     // carry2 can be at most 1; in that case the value is >= 2^256 > r and a
     // single conditional subtraction still suffices because the

@@ -57,6 +57,7 @@ pub struct AppendDelta {
 impl AppendDelta {
     /// The appended leaves (level-0 span).
     pub fn leaves(&self) -> &[Fr] {
+        // lint:allow(panic-path, reason = "spans always holds depth+1 levels; level 0 (the appended leaves) exists for any valid delta")
         &self.spans[0]
     }
 
@@ -305,6 +306,7 @@ impl MemberView {
                     // left of the span ⇒ exactly the pre-batch frontier
                     // node at this level (see the module invariants)
                     delta.pre_frontier[level]
+                        // lint:allow(panic-path, reason = "pre_frontier is Some exactly when start >> level is odd, which is the case in this branch")
                         .expect("own sibling left of the span must be the frontier")
                 } else {
                     // right of the span ⇒ still an empty subtree
@@ -313,6 +315,7 @@ impl MemberView {
             }
             self.own = Some(OwnPath {
                 index,
+                // lint:allow(panic-path, reason = "spans[0] is the leaf span and offset < count is established by the enclosing loop")
                 leaf: delta.spans[0][offset as usize],
                 siblings,
             });

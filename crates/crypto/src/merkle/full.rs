@@ -72,6 +72,7 @@ impl FullMerkleTree {
 
     /// The current root.
     pub fn root(&self) -> Fr {
+        // lint:allow(panic-path, reason = "levels holds depth+1 non-empty rows; the root row holds exactly one node")
         self.levels[self.depth][0]
     }
 
@@ -82,6 +83,7 @@ impl FullMerkleTree {
     /// Returns [`MerkleError::IndexOutOfRange`] for indices beyond capacity.
     pub fn leaf(&self, index: u64) -> Result<Fr, MerkleError> {
         self.check_index(index)?;
+        // lint:allow(panic-path, reason = "check_index ran the line above; levels[0] holds 2^depth leaves")
         Ok(self.levels[0][index as usize])
     }
 
@@ -92,6 +94,7 @@ impl FullMerkleTree {
     /// Returns [`MerkleError::IndexOutOfRange`] for indices beyond capacity.
     pub fn set(&mut self, index: u64, leaf: Fr) -> Result<(), MerkleError> {
         self.check_index(index)?;
+        // lint:allow(panic-path, reason = "check_index ran the line above; levels[0] holds 2^depth leaves")
         self.levels[0][index as usize] = leaf;
         let mut idx = index as usize;
         for l in 0..self.depth {
@@ -156,6 +159,7 @@ impl FullMerkleTree {
             return Err(MerkleError::TreeFull);
         }
         let s = start as usize;
+        // lint:allow(panic-path, reason = "the caller validated start + leaves.len() <= capacity before entering this hot loop")
         self.levels[0][s..s + leaves.len()].copy_from_slice(leaves);
         // recompute each level once over the span the batch dirtied
         let mut lo = s;

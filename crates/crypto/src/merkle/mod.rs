@@ -246,6 +246,7 @@ pub(crate) fn roll_up_batch(
         a = first_parent;
     }
     debug_assert_eq!((a, nodes.len()), (0, 1));
+    // lint:allow(panic-path, reason = "loop invariant: halving terminates with exactly one node, checked by the debug_assert above")
     nodes[0]
 }
 

@@ -109,6 +109,7 @@ impl Polynomial {
 
     /// The shared secret, `A(0)`.
     pub fn secret(&self) -> Fr {
+        // lint:allow(panic-path, reason = "a polynomial always carries its constant coefficient at index 0")
         self.coeffs[0]
     }
 

@@ -135,6 +135,7 @@ impl Chain {
             },
             membership: MembershipContract::new(config.stake_amount, config.burn_percent),
             tree_baseline: OnChainTreeContract::new(config.stake_amount, config.tree_depth)
+                // lint:allow(panic-path, reason = "ChainConfig depth is validated when the config is built; the contract mirrors it")
                 .expect("valid tree depth"),
             board: SignalBoardContract::new(),
             events: Vec::new(),

@@ -499,7 +499,7 @@ impl<V: Validator> GossipsubNode<V> {
         if wanted.is_empty() {
             return;
         }
-        *self.iwant_spent.get_mut(&from).expect("just inserted") += wanted.len();
+        *self.iwant_spent.entry(from).or_default() += wanted.len();
         ctx.count("iwant_sent", wanted.len() as u64);
         ctx.send(from, Rpc::IWant { ids: wanted });
     }
@@ -534,7 +534,7 @@ impl<V: Validator> GossipsubNode<V> {
                 sent += 1;
             }
         }
-        *self.iwant_served.get_mut(&from).expect("just inserted") += sent;
+        *self.iwant_served.entry(from).or_default() += sent;
         if capped > 0 {
             ctx.count("iwant_served_capped", capped);
         }
@@ -570,6 +570,7 @@ impl<V: Validator> GossipsubNode<V> {
         if let Some(mesh) = self.mesh.get_mut(&topic) {
             mesh.remove(&from);
         }
+        // lint:allow(map-iteration, reason = "existential fold: any() over mesh membership is order-independent")
         let still_meshed = self.mesh.values().any(|m| m.contains(&from));
         self.score.set_in_mesh(from, still_meshed);
     }
@@ -585,7 +586,9 @@ impl<V: Validator> GossipsubNode<V> {
         let now = ctx.now();
         // everyone we currently track: mesh members plus known topic peers
         let mut tracked: BTreeSet<NodeId> = BTreeSet::new();
+        // lint:allow(map-iteration, reason = "order-independent: values drain into a BTreeSet, which sorts them")
         tracked.extend(self.mesh.values().flatten().copied());
+        // lint:allow(map-iteration, reason = "order-independent: values drain into a BTreeSet, which sorts them")
         tracked.extend(self.peer_topics.values().flatten().copied());
         let mut dead: Vec<NodeId> = Vec::new();
         for peer in tracked {
@@ -600,9 +603,11 @@ impl<V: Validator> GossipsubNode<V> {
             }
         }
         for peer in dead {
+            // lint:allow(map-iteration, reason = "order-independent: removes one peer from every mesh set; no cross-entry data flow")
             for mesh in self.mesh.values_mut() {
                 mesh.remove(&peer);
             }
+            // lint:allow(map-iteration, reason = "order-independent: removes one peer from every subscriber set; no cross-entry data flow")
             for subscribers in self.peer_topics.values_mut() {
                 subscribers.remove(&peer);
             }
@@ -623,23 +628,24 @@ impl<V: Validator> GossipsubNode<V> {
         // sweep expired graft backoffs so the tables stay bounded by the
         // set of peers that pruned us within the last backoff window
         let now = ctx.now();
+        // lint:allow(map-iteration, reason = "order-independent: per-entry backoff expiry; entries are judged in isolation")
         self.graft_backoff.retain(|_, peers| {
             peers.retain(|_, until| *until > now);
             !peers.is_empty()
         });
 
         for topic in self.subscriptions.clone() {
-            let mesh = self.mesh.entry(topic.clone()).or_default();
+            let topic_mesh = self.mesh.entry(topic.clone()).or_default();
 
             // evict misbehaving peers
             if self.config.scoring_enabled {
-                let evict: Vec<NodeId> = mesh
+                let evict: Vec<NodeId> = topic_mesh
                     .iter()
                     .copied()
                     .filter(|p| self.score.should_evict(*p))
                     .collect();
                 for peer in evict {
-                    mesh.remove(&peer);
+                    topic_mesh.remove(&peer);
                     ctx.send(peer, Rpc::Prune(topic.clone()));
                     self.score.set_in_mesh(peer, false);
                     ctx.count("mesh_evictions", 1);
@@ -647,8 +653,8 @@ impl<V: Validator> GossipsubNode<V> {
             }
 
             // graft up to D when below D_lo
-            if mesh.len() < self.config.mesh_n_low {
-                let need = self.config.mesh_n - mesh.len();
+            if topic_mesh.len() < self.config.mesh_n_low {
+                let need = self.config.mesh_n - topic_mesh.len();
                 let backoff = self.graft_backoff.get(&topic);
                 let mut suppressed = 0u64;
                 let mut candidates: Vec<NodeId> = self
@@ -657,7 +663,7 @@ impl<V: Validator> GossipsubNode<V> {
                     .map(|s| {
                         s.iter()
                             .copied()
-                            .filter(|p| !mesh.contains(p))
+                            .filter(|p| !topic_mesh.contains(p))
                             .filter(|p| {
                                 !self.config.scoring_enabled || !self.score.should_evict(*p)
                             })
@@ -680,24 +686,19 @@ impl<V: Validator> GossipsubNode<V> {
                 }
                 candidates.shuffle(ctx.rng());
                 for peer in candidates.into_iter().take(need) {
-                    mesh.insert(peer);
+                    topic_mesh.insert(peer);
                     self.score.set_in_mesh(peer, true);
                     ctx.send(peer, Rpc::Graft(topic.clone()));
                 }
             }
 
             // prune down to D when above D_hi
-            if mesh.len() > self.config.mesh_n_high {
-                let mut members: Vec<NodeId> = mesh.iter().copied().collect();
+            if topic_mesh.len() > self.config.mesh_n_high {
+                let mut members: Vec<NodeId> = topic_mesh.iter().copied().collect();
                 // keep the best-scoring peers
-                members.sort_by(|a, b| {
-                    self.score
-                        .score(*b)
-                        .partial_cmp(&self.score.score(*a))
-                        .expect("scores are finite")
-                });
+                members.sort_by(|a, b| self.score.score(*b).total_cmp(&self.score.score(*a)));
                 for peer in members.into_iter().skip(self.config.mesh_n) {
-                    mesh.remove(&peer);
+                    topic_mesh.remove(&peer);
                     ctx.send(peer, Rpc::Prune(topic.clone()));
                     self.score.set_in_mesh(peer, false);
                 }
@@ -736,6 +737,7 @@ impl<V: Validator> GossipsubNode<V> {
         self.mcache.shift();
         let ttl = self.config.seen_ttl_ms;
         let now = ctx.now();
+        // lint:allow(map-iteration, reason = "order-independent: per-entry TTL prune; entries are judged in isolation")
         self.seen.retain(|_, t| now.saturating_sub(*t) < ttl);
         if !self.own_published.is_empty() {
             self.own_published.retain(|id| self.seen.contains_key(id));

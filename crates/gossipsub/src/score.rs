@@ -56,6 +56,7 @@ impl PeerScore {
     /// The tracked peers, in unspecified order (diagnostics: score
     /// extremes, table-boundedness checks).
     pub fn tracked_peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        // lint:allow(map-iteration, reason = "callers fold with order-independent min/max aggregates; keys carry no positional meaning")
         self.peers.keys().copied()
     }
 
@@ -91,6 +92,7 @@ impl PeerScore {
 
     /// Heartbeat maintenance: time-in-mesh accrual and counter decay.
     pub fn heartbeat(&mut self) {
+        // lint:allow(map-iteration, reason = "order-independent: per-peer counter decay; each entry is updated in isolation")
         for c in self.peers.values_mut() {
             if c.in_mesh {
                 c.heartbeats_in_mesh += 1.0;

@@ -1,0 +1,101 @@
+//! CLI entry point: walk the workspace, print diagnostics, optionally
+//! emit the JSON report, exit nonzero under `--deny-all` when any
+//! unannotated finding exists.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+wakurln-lint — workspace determinism / unsafe / panic-path contract checker
+
+USAGE:
+    cargo run -p wakurln-lint -- [OPTIONS]
+
+OPTIONS:
+    --deny-all        exit 1 if any unannotated finding exists (CI mode)
+    --json <PATH>     write the machine-readable report (use `-` for stdout)
+    --root <DIR>      workspace root (default: auto-detected)
+    --quiet           suppress per-finding human diagnostics
+    --help            print this help
+";
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut json_path: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage_error("--json needs a path (or `-`)"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = root.unwrap_or_else(wakurln_lint::workspace_root);
+    let report = match wakurln_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wakurln-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !quiet {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+    }
+    let counts = report.rule_counts();
+    let fired: Vec<String> = counts
+        .iter()
+        .filter(|(_, n)| **n > 0)
+        .map(|(r, n)| format!("{r}: {n}"))
+        .collect();
+    println!(
+        "wakurln-lint: {} files, {} unannotated finding(s){}, {} allowed suppression(s)",
+        report.files_scanned,
+        report.findings.len(),
+        if fired.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", fired.join(", "))
+        },
+        report.allowed.len(),
+    );
+
+    if let Some(path) = json_path {
+        let json = report.to_json();
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("wakurln-lint: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if deny_all && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("wakurln-lint: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}

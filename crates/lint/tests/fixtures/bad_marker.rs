@@ -1,0 +1,16 @@
+// Fixture: malformed or unknown markers are findings themselves.
+
+pub fn missing_reason(v: &Vec<u64>) -> u64 {
+    // lint:allow(panic-path) //~ bad-marker
+    v.first().copied().unwrap_or(0)
+}
+
+pub fn unknown_rule(v: &Vec<u64>) -> u64 {
+    // lint:allow(made-up-rule, reason = "nope") //~ bad-marker
+    v.first().copied().unwrap_or(0)
+}
+
+pub fn empty_reason(v: &Vec<u64>) -> u64 {
+    // lint:allow(panic-path, reason = "  ") //~ bad-marker
+    v.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,18 @@
+// Fixture: the same iteration patterns, suppressed by reasoned markers.
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    counters: HashMap<u64, u64>,
+    seen: HashSet<u64>,
+}
+
+impl State {
+    pub fn total(&self) -> u64 {
+        // lint:allow(map-iteration, reason = "commutative sum — iteration order cannot reach any report byte")
+        self.counters.values().sum()
+    }
+
+    pub fn prune(&mut self) {
+        self.seen.retain(|x| *x > 10); // lint:allow(map-iteration, reason = "pure predicate, retained set is order-independent")
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: justified panic sites are suppressed by reasoned markers;
+// fixed-size array indexing needs no marker at all.
+
+pub struct Frame {
+    words: [u64; 4],
+}
+
+pub fn decode(frame: &Frame, v: &Vec<u64>) -> u64 {
+    // Compiler-checked: `words` is a fixed-size array, no marker needed.
+    let fixed = frame.words[0] + frame.words[3];
+    // lint:allow(panic-path, reason = "caller contract: `v` is the non-empty batch the stage just built")
+    let head = v.first().unwrap();
+    let second = v[1]; // lint:allow(panic-path, reason = "guarded by the arity check in the constructor")
+    fixed + head + second
+}

@@ -1,0 +1,25 @@
+// Fixture: panic-capable constructs on library paths must fire.
+
+pub fn pick(v: &Vec<u64>, opt: Option<u64>) -> u64 {
+    let first = v[0]; //~ panic-path
+    let head = v.first().unwrap(); //~ panic-path
+    let tail = v.last().expect("nonempty"); //~ panic-path
+    if *head > *tail {
+        panic!("unsorted"); //~ panic-path
+    }
+    first + opt.unwrap() //~ panic-path
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely: no finding expected here.
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let v = vec![1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+        let x: Vec<u8> = Vec::new();
+        let _ = x;
+        let boom = v[0];
+        let _ = boom;
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: the same shape, justified — e.g. the draw happens on a
+// reserved stream consumed in canonical merge order.
+use std::collections::HashSet;
+
+pub struct World {
+    inflight: HashSet<u64>,
+}
+
+pub fn step(world: &mut World, rng: &mut SimRng, id: u64) -> u64 {
+    if world.inflight.contains(&id) {
+        // lint:allow(rng-in-branch, reason = "membership test is keyed by the event's own id, not by iteration; draw count is a pure function of the timeline")
+        return rng.gen_range(0, 10);
+    }
+    0
+}

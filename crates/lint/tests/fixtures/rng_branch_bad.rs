@@ -1,0 +1,23 @@
+// Fixture: an RNG draw whose execution depends on unordered collection
+// state must fire — the stream position becomes content-dependent.
+use std::collections::HashSet;
+
+pub struct World {
+    inflight: HashSet<u64>,
+}
+
+pub fn step(world: &mut World, rng: &mut SimRng, id: u64) -> u64 {
+    if world.inflight.contains(&id) {
+        return rng.gen_range(0, 10); //~ rng-in-branch
+    }
+    while world.inflight.len() > 8 {
+        let jitter = rng.gen_bool(0.5); //~ rng-in-branch
+        if jitter {
+            break;
+        }
+    }
+    match world.inflight.get(&id) {
+        Some(_) => rng.next_u64(), //~ rng-in-branch
+        None => 0,
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: `unsafe` with an adjacent SAFETY justification is clean.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: non-emptiness is asserted on the line above, so the
+    // pointer read stays in bounds.
+    unsafe { *bytes.as_ptr() }
+}
+
+pub struct Raw(*const u8);
+
+// SAFETY: the pointer is only dereferenced behind a mutex held by the
+// owning scheduler; see the aliasing argument on SchedulerSlot.
+unsafe impl Send for Raw {}
+
+pub fn same_line(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr().add(0) } // SAFETY: offset 0 of a valid slice pointer
+}

@@ -1,0 +1,9 @@
+// Fixture: `unsafe` without an adjacent SAFETY comment must fire.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() } //~ unsafe-audit
+}
+
+pub struct Raw(*const u8);
+
+unsafe impl Send for Raw {} //~ unsafe-audit

@@ -1,0 +1,94 @@
+//! Lexer round-trip: token spans must tile every workspace source file
+//! (strictly ascending, whitespace-only gaps, byte-exact reassembly),
+//! and randomly composed token soup must lex and round-trip too.
+
+use proptest::prelude::*;
+use wakurln_lint::config::workspace_sources;
+use wakurln_lint::lexer::{check_roundtrip, lex};
+use wakurln_lint::workspace_root;
+
+#[test]
+fn every_workspace_source_file_roundtrips() {
+    let root = workspace_root();
+    let files = workspace_sources(&root).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks too small: {} files",
+        files.len()
+    );
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("read source");
+        let tokens = lex(&src).unwrap_or_else(|e| panic!("{rel}: lex error: {e:?}"));
+        if let Some(violation) = check_roundtrip(&src, &tokens) {
+            panic!("{rel}: round-trip violation: {violation}");
+        }
+    }
+}
+
+/// Fragments that are individually lexable; random concatenations of
+/// them (joined by single spaces) must stay lexable and round-trip.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "unsafe",
+    "ident_1",
+    "HashMap",
+    "r#async",
+    "'a",
+    "'static",
+    "'x'",
+    "'\\n'",
+    "b'\\t'",
+    "0",
+    "42_u64",
+    "0xff",
+    "1.5",
+    "1.0e-3",
+    "1..10",
+    "x.0",
+    "\"str with \\\" escape\"",
+    "r#\"raw \" body\"#",
+    "b\"bytes\"",
+    "// line comment\n",
+    "/* block /* nested */ comment */",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "::",
+    ".",
+    "->",
+    "=>",
+    "#",
+    "!",
+    "&&",
+    "<<=",
+    ";",
+    ",",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_token_soup_roundtrips(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..64)) {
+        let mut src = String::new();
+        for p in picks {
+            src.push_str(FRAGMENTS[p]);
+            src.push(' ');
+        }
+        let tokens = lex(&src).expect("fragment soup must lex");
+        prop_assert_eq!(check_roundtrip(&src, &tokens), None);
+    }
+
+    #[test]
+    fn arbitrary_ascii_never_breaks_span_invariants(bytes in proptest::collection::vec(0x20u8..0x7f, 0..128)) {
+        let src = String::from_utf8(bytes).expect("printable ascii");
+        // Arbitrary text may fail to lex (unterminated string), but a
+        // successful lex must uphold the span invariants.
+        if let Ok(tokens) = lex(&src) {
+            prop_assert_eq!(check_roundtrip(&src, &tokens), None);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Regression guard: the workspace must stay lint-clean.
+//!
+//! Two assertions hold the line: a fresh in-process run over the live
+//! sources must produce zero unannotated findings, and the committed
+//! `lint-report.json` snapshot must agree — so a PR that introduces a
+//! violation *or* quietly regenerates the report with findings in it
+//! fails `cargo test` even before the CI lint job runs.
+
+use wakurln_lint::report::committed_findings_count;
+use wakurln_lint::{lint_workspace, workspace_root};
+
+#[test]
+fn workspace_has_zero_unannotated_findings() {
+    let root = workspace_root();
+    let report = lint_workspace(&root).expect("walk workspace");
+    let unannotated: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        unannotated.is_empty(),
+        "workspace lint regressions (fix or add a reasoned lint:allow):\n{}",
+        unannotated.join("\n")
+    );
+}
+
+#[test]
+fn committed_report_is_clean_and_current_schema() {
+    let root = workspace_root();
+    let json = std::fs::read_to_string(root.join("lint-report.json"))
+        .expect("lint-report.json must be committed at the workspace root");
+    let count = committed_findings_count(&json)
+        .unwrap_or_else(|e| panic!("committed lint-report.json is invalid: {e}"));
+    assert_eq!(
+        count, 0,
+        "committed lint-report.json records {count} unannotated finding(s); \
+         regenerate it with `cargo run -p wakurln-lint -- --json lint-report.json` \
+         after fixing or annotating them"
+    );
+}
+
+#[test]
+fn suppression_inventory_matches_committed_report() {
+    // The committed snapshot must reflect the live tree: same number of
+    // reasoned suppressions, so stale reports are caught when markers
+    // are added or removed without regenerating.
+    let root = workspace_root();
+    let report = lint_workspace(&root).expect("walk workspace");
+    let json = std::fs::read_to_string(root.join("lint-report.json")).expect("committed report");
+    let needle = "\"allowed_count\":";
+    let at = json.find(needle).expect("report carries allowed_count");
+    let rest = json[at + needle.len()..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let committed: usize = digits.parse().expect("allowed_count is an integer");
+    assert_eq!(
+        committed,
+        report.allowed.len(),
+        "committed lint-report.json is stale: regenerate it with \
+         `cargo run -p wakurln-lint -- --json lint-report.json`"
+    );
+}

@@ -235,6 +235,7 @@ pub fn replay(params: &TraceParams, steps: &[TraceStep]) -> Result<State, Invari
 
         // invariant 3: slashing soundness
         if state.detections.len() > detections_before {
+            // lint:allow(panic-path, reason = "guarded: this branch runs only when detections grew, so last() is the new entry")
             let detection = state.detections.last().expect("just pushed");
             let truth = sent.get(&(step.member, step.epoch));
             if truth.map_or(0, HashSet::len) < 2 {
@@ -375,6 +376,7 @@ pub fn parse_trace(text: &str) -> Result<(TraceParams, Vec<TraceStep>), String> 
             continue;
         }
         let mut words = line.split_whitespace();
+        // lint:allow(panic-path, reason = "guarded: blank lines are skipped above, so a first token exists")
         let key = words.next().expect("non-empty line has a first word");
         let mut next_u64 = |name: &str| -> Result<u64, String> {
             words

@@ -1,6 +1,6 @@
 //! Simulation metrics: counters, per-node accounting and value series.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregated measurements collected during a simulation run.
 ///
@@ -11,9 +11,9 @@ use std::collections::HashMap;
 /// from them are wire-stable across 32- and 64-bit platforms.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    counters: HashMap<String, u64>,
-    values: HashMap<String, Vec<f64>>,
-    per_node: HashMap<(u64, String), u64>,
+    counters: BTreeMap<String, u64>,
+    values: BTreeMap<String, Vec<f64>>,
+    per_node: BTreeMap<(u64, String), u64>,
     /// Bytes put on the wire by each node. Kept out of `per_node` because
     /// it is bumped on every send — a dense `Vec` avoids a string-keyed
     /// hash insert on the hot path.
@@ -102,7 +102,7 @@ impl Metrics {
         if s.is_empty() {
             return None;
         }
-        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        s.sort_by(f64::total_cmp);
         let rank = ((s.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
         Some(s[rank])
     }
@@ -115,7 +115,7 @@ impl Metrics {
             .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
     }
 
-    /// Names of all counters (for report printing).
+    /// Names of all counters, in sorted (deterministic) order.
     pub fn counter_keys(&self) -> impl Iterator<Item = &str> {
         self.counters.keys().map(String::as_str)
     }

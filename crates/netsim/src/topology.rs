@@ -59,6 +59,7 @@ pub fn is_connected(adjacency: &[Vec<NodeId>]) -> bool {
     let n = adjacency.len();
     let mut seen = vec![false; n];
     let mut stack = vec![0usize];
+    // lint:allow(panic-path, reason = "guarded: the empty adjacency returned early, so index 0 exists")
     seen[0] = true;
     let mut visited = 1;
     while let Some(i) = stack.pop() {

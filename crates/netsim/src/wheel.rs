@@ -159,6 +159,7 @@ impl<M> EventWheel<M> {
         }
         let level = (0..LEVELS)
             .find(|&l| self.occupied[l] != 0)
+            // lint:allow(panic-path, reason = "occupancy invariant: len > 0 means some level has a set bit")
             .expect("len > 0 but no occupied slot");
         let slot = self.occupied[level].trailing_zeros() as usize;
         if level == 0 {
@@ -194,10 +195,12 @@ impl<M> EventWheel<M> {
         loop {
             let level = (0..LEVELS)
                 .find(|&l| self.occupied[l] != 0)
+                // lint:allow(panic-path, reason = "occupancy invariant: a recorded minimum implies a set bit at some level")
                 .expect("min exists but no occupied slot");
             let slot = self.occupied[level].trailing_zeros() as usize;
             if level == 0 {
                 debug_assert_eq!(slot as u64, at & SLOT_MASK, "min not in the current window");
+                // lint:allow(panic-path, reason = "level 0 always exists and slot comes from a SLOT_MASK-masked index")
                 let handles = std::mem::take(&mut self.levels[0][slot]);
                 self.occupied[0] &= !(1 << slot);
                 self.len -= handles.len();

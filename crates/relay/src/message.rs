@@ -139,7 +139,9 @@ impl<'a> Cursor<'a> {
     }
     fn read_u32(&mut self) -> Result<u32, CodecError> {
         let s = self.read_slice(4)?;
-        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
     }
     fn read_u64(&mut self) -> Result<u64, CodecError> {
         let s = self.read_slice(8)?;

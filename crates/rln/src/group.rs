@@ -175,12 +175,14 @@ impl RlnGroup {
             batch_keys.push(key);
         }
         batch_keys.sort_unstable();
+        // lint:allow(panic-path, reason = "windows(2) yields exactly-two-element slices")
         if batch_keys.windows(2).any(|w| w[0] == w[1]) {
             let dup = commitments
                 .iter()
                 .enumerate()
                 .find(|(i, c)| commitments[..*i].contains(c))
                 .map(|(_, c)| *c)
+                // lint:allow(panic-path, reason = "guarded: the windows(2) scan above proved a duplicate exists")
                 .expect("duplicate exists");
             return Err(GroupError::AlreadyRegistered(dup));
         }

@@ -65,6 +65,7 @@ pub fn attribute(observations: &[PooledObservation]) -> Option<MessageAttributio
     }
     let mut records = observations.to_vec();
     records.sort_unstable_by_key(|o| (o.at_ms, o.from, o.observer));
+    // lint:allow(panic-path, reason = "guarded: empty observation sets returned None above")
     let earliest = records[0];
 
     // each observer's first sighting casts exactly one vote: later
@@ -89,7 +90,9 @@ pub fn attribute(observations: &[PooledObservation]) -> Option<MessageAttributio
 
     // argmax over candidates in ascending-id order: strictly-greater
     // comparison makes the smallest id win ties deterministically
+    // lint:allow(panic-path, reason = "every record cast or merged a vote, and records is non-empty, so votes is too")
     let mut centrality_guess = votes[0].0;
+    // lint:allow(panic-path, reason = "every record cast or merged a vote, and records is non-empty, so votes is too")
     let mut best = votes[0].1;
     for (candidate, weight) in votes.iter().skip(1) {
         if *weight > best {

@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
+// lint:allow(host-time, reason = "wall-clock progress/elapsed reporting only; the simulation reads ctx.now() exclusively")
 use std::time::Instant;
 use waku_rln_relay::{CostModel, Testbed, TestbedConfig};
 use wakurln_gossipsub::MessageId;
@@ -246,6 +247,7 @@ fn run_scenario_impl(
     events.sort();
 
     // run it
+    // lint:allow(host-time, reason = "wall-clock elapsed printed as console progress; never enters simulation state or reports")
     let started_wall = Instant::now();
     let end_ms = spec.duration_ms();
     let advance = |tb: &mut Testbed,
@@ -315,6 +317,7 @@ fn run_scenario_impl(
                 }
             },
             EventKind::Spam => {
+                // lint:allow(panic-path, reason = "the Spam event is only scheduled when spec.spam is Some")
                 let s = spec.spam.expect("spam event implies spam spec");
                 for spammer in honest..honest + s.spammers {
                     for k in 0..s.burst {
@@ -464,7 +467,7 @@ fn run_scenario_impl(
             }
         }
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    samples.sort_by(f64::total_cmp);
     let percentile = |p: f64| -> Option<f64> {
         if samples.is_empty() {
             None
@@ -730,6 +733,7 @@ fn build_adjacency(spec: &ScenarioSpec, n_hs: usize, attackers: usize) -> Vec<Ve
             adj.retain(|p| *p != victim);
         }
         let attacker_ids: Vec<NodeId> = (n_hs..n_hs + k).map(NodeId).collect();
+        // lint:allow(panic-path, reason = "adjacency holds n_hs + k >= 1 rows; row 0 is the supernode under construction")
         adjacency[0] = attacker_ids.clone();
         for (j, _) in attacker_ids.iter().enumerate() {
             // each censor knows the victim and a couple of honest peers,

@@ -232,6 +232,7 @@ impl FaultPlan {
     ///
     /// Panics on an impossible plan.
     pub fn validate(&self) {
+        // lint:allow(panic-path, reason = "windows(2) yields exactly-two-element slices")
         let sorted = |starts: &[u64]| starts.windows(2).all(|w| w[0] <= w[1]);
         assert!(
             sorted(&self.restarts.iter().map(|r| r.at_ms).collect::<Vec<_>>()),
@@ -497,6 +498,7 @@ impl ScenarioSpec {
         assert!((0.0..=1.0).contains(&self.loss), "loss out of range");
         assert!(self.slice_ms > 0, "slice must be positive");
         assert!(
+            // lint:allow(panic-path, reason = "windows(2) yields exactly-two-element slices")
             self.churn.windows(2).all(|w| w[0].at_ms <= w[1].at_ms),
             "churn schedule must be sorted by time"
         );

@@ -49,6 +49,7 @@ where
             .collect();
         handles
             .into_iter()
+            // lint:allow(panic-path, reason = "a panicked worker must propagate: swallowing it would silently corrupt the proof batch")
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     })
